@@ -1,0 +1,148 @@
+#pragma once
+
+// Shared helpers for the bench harness. Every bench binary regenerates one
+// table or figure of the thesis (see DESIGN.md §5) and prints the same rows
+// or series the paper reports, scaled to seconds of synthetic traffic.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/query/queries.h"
+#include "src/trace/anomaly.h"
+#include "src/trace/batch.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace shedmon::bench {
+
+// Common command-line knobs: --quick shrinks traces further; --seed=N
+// perturbs every generator seed; --oracle=measured uses real rdtsc cycles.
+struct BenchArgs {
+  bool quick = false;
+  uint64_t seed_offset = 0;
+  core::OracleKind oracle = core::OracleKind::kModel;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        args.quick = true;
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        args.seed_offset = std::stoull(arg.substr(7));
+      } else if (arg == "--oracle=measured") {
+        args.oracle = core::OracleKind::kMeasured;
+      } else if (arg == "--oracle=model") {
+        args.oracle = core::OracleKind::kModel;
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: %s [--quick] [--seed=N] [--oracle=model|measured]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+inline void PrintHeader(const std::string& id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+// Scales a preset down for --quick runs and applies the seed offset.
+inline trace::TraceSpec Scaled(trace::TraceSpec spec, const BenchArgs& args,
+                               double duration_s = 0.0) {
+  if (duration_s > 0.0) {
+    spec.duration_s = duration_s;
+  }
+  if (args.quick) {
+    spec.duration_s = std::min(spec.duration_s, 6.0);
+  }
+  spec.seed += args.seed_offset;
+  return spec;
+}
+
+// Runs one system configuration at overload factor K over `trace` with the
+// given queries (capacity = mean unshedded demand * (1 - K), §5.4).
+// `buffer_bins` > 0 overrides the capture-buffer size; the Ch. 4 method
+// comparisons pass 2.0 to reproduce the thesis's 200 ms buffer emulation.
+inline core::RunResult RunAtOverload(const trace::Trace& trace,
+                                     const std::vector<std::string>& names, double k,
+                                     core::ShedderKind shedder, shed::StrategyKind strategy,
+                                     const BenchArgs& args, bool custom_shedding = false,
+                                     bool default_min_rates = true,
+                                     double buffer_bins = 0.0) {
+  const double demand = core::MeasureMeanDemand(names, trace, args.oracle);
+  core::RunSpec spec;
+  spec.system.shedder = shedder;
+  spec.system.strategy = strategy;
+  spec.system.cycles_per_bin = std::max(1.0, demand * (1.0 - k));
+  spec.system.enable_custom_shedding = custom_shedding;
+  if (buffer_bins > 0.0) {
+    spec.system.buffer_bins = buffer_bins;
+  }
+  spec.oracle = args.oracle;
+  spec.query_names = names;
+  spec.use_default_min_rates = default_min_rates;
+  return core::RunSystemOnTrace(spec, trace);
+}
+
+// Per-second aggregation of bin logs for time-series figures.
+struct SecondStats {
+  double packets = 0.0;
+  double dropped = 0.0;
+  double unsampled = 0.0;
+  double query_cycles = 0.0;
+  double predicted = 0.0;
+  double avail = 0.0;
+  double backlog = 0.0;
+  double mean_rate = 1.0;
+};
+
+inline std::vector<SecondStats> PerSecond(const std::vector<core::BinLog>& log) {
+  std::vector<SecondStats> out;
+  size_t i = 0;
+  while (i < log.size()) {
+    SecondStats s;
+    util::RunningStats rate;
+    for (size_t j = 0; j < 10 && i < log.size(); ++j, ++i) {
+      const auto& bin = log[i];
+      s.packets += static_cast<double>(bin.packets_in);
+      s.dropped += static_cast<double>(bin.packets_dropped);
+      s.unsampled += bin.packets_unsampled;
+      s.query_cycles += bin.query_cycles;
+      s.predicted += bin.predicted_cycles;
+      s.avail += bin.avail_cycles;
+      s.backlog = bin.backlog_cycles;
+      double mean_r = 0.0;
+      for (const double r : bin.rate) {
+        mean_r += r;
+      }
+      if (!bin.rate.empty()) {
+        rate.Add(mean_r / static_cast<double>(bin.rate.size()));
+      }
+    }
+    s.mean_rate = rate.count() > 0 ? rate.mean() : 1.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+inline std::string ShedderName(core::ShedderKind kind) {
+  switch (kind) {
+    case core::ShedderKind::kNoShed:
+      return "original (no lshed)";
+    case core::ShedderKind::kReactive:
+      return "reactive";
+    case core::ShedderKind::kPredictive:
+      return "predictive";
+  }
+  return "?";
+}
+
+}  // namespace shedmon::bench

@@ -1,0 +1,71 @@
+// Fig. 3.13 / 3.14 / 3.15: robustness of the three predictors against a
+// spoofed DDoS that goes idle every other second (§3.4.3), measured on the
+// flows query whose cost explodes with the spoofed flow count. EWMA trails
+// every on/off edge, SLR converges to a useless average, MLR tracks closely.
+
+#include "bench/bench_common.h"
+#include "bench/predict_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace shedmon;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fig 3.13-3.15",
+                     "prediction during an on/off spoofed DDoS (flows query)");
+
+  auto trace =
+      trace::TraceGenerator(bench::Scaled(trace::CescaII(), args, 20.0)).Generate();
+  trace::DdosSpec ddos;
+  ddos.start_s = 6.0;
+  ddos.duration_s = 10.0;
+  ddos.pps = 2500.0;
+  ddos.spoofed_sources = true;
+  ddos.on_off_period_s = 1.0;  // "goes idle every other second" (§3.4.3)
+  InjectDdos(trace, ddos, 7 + args.seed_offset);
+
+  auto oracle = core::MakeOracle(args.oracle);
+
+  struct Entry {
+    const char* label;
+    predict::PredictorKind kind;
+  };
+  const Entry predictors[] = {{"EWMA", predict::PredictorKind::kEwma},
+                              {"SLR", predict::PredictorKind::kSlr},
+                              {"MLR+FCBF", predict::PredictorKind::kMlr}};
+
+  util::Table table({"predictor", "mean err (attack)", "max err (attack)", "mean err (calm)"});
+  double mlr_attack = 1.0;
+  double ewma_attack = 0.0;
+  for (const auto& entry : predictors) {
+    predict::PredictorConfig cfg;
+    cfg.kind = entry.kind;
+    const auto run = bench::RunPredictionExperiment(trace, "flows", cfg, *oracle, 0);
+    util::RunningStats attack;
+    util::RunningStats calm;
+    for (size_t i = 20; i < run.actual.size(); ++i) {
+      if (run.actual[i] <= 0.0) {
+        continue;
+      }
+      const double err = util::RelativeError(run.predicted[i], run.actual[i]);
+      const double t = static_cast<double>(i) / 10.0;
+      if (t >= ddos.start_s && t < ddos.start_s + ddos.duration_s) {
+        attack.Add(err);
+      } else {
+        calm.Add(err);
+      }
+    }
+    table.AddRow({entry.label, util::Fmt(attack.mean(), 4), util::Fmt(attack.max(), 4),
+                  util::Fmt(calm.mean(), 4)});
+    if (entry.kind == predict::PredictorKind::kMlr) {
+      mlr_attack = attack.mean();
+    }
+    if (entry.kind == predict::PredictorKind::kEwma) {
+      ewma_attack = attack.mean();
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: MLR anticipates the surges (errors around the 10%% mark,\n"
+      "4.77%% average in the thesis); EWMA oscillates behind every on/off edge\n"
+      "and SLR settles near a 30%% systematic error (Figs 3.13-3.15).\n\n");
+  return mlr_attack < ewma_attack ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Fig. 4.1: CDF of the CPU cycles consumed per batch under the predictive,
+// original (no shedding) and reactive systems at ~2x overload. The
+// predictive system's service time concentrates just under the per-batch
+// budget; the alternatives are wildly variable and lose entire batches
+// (service time zero).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shedmon;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fig 4.1", "CDF of per-batch CPU usage for three systems (K = 0.5)");
+
+  const auto trace =
+      trace::TraceGenerator(bench::Scaled(trace::CescaI(), args, 20.0)).Generate();
+  const auto names = query::StandardSevenQueryNames();
+
+  struct Config {
+    core::ShedderKind shedder;
+  };
+  const Config configs[] = {{core::ShedderKind::kPredictive},
+                            {core::ShedderKind::kNoShed},
+                            {core::ShedderKind::kReactive}};
+
+  std::vector<std::vector<double>> samples;
+  std::vector<std::string> labels;
+  double capacity = 0.0;
+  for (const auto& config : configs) {
+    auto result = bench::RunAtOverload(trace, names, 0.5, config.shedder,
+                                       shed::StrategyKind::kEqSrates, args,
+                                       /*custom=*/false, /*min_rates=*/false,
+                                       /*buffer_bins=*/2.0);
+    capacity = result.system->capacity();
+    std::vector<double> usage;
+    size_t zero_bins = 0;
+    for (const auto& bin : result.system->log()) {
+      const double spent = bin.query_cycles + bin.ps_cycles + bin.ls_cycles;
+      usage.push_back(spent);
+      if (bin.batch_dropped) {
+        ++zero_bins;
+      }
+    }
+    std::printf("%-22s: batches fully lost (service time 0): %zu / %zu\n",
+                bench::ShedderName(config.shedder).c_str(), zero_bins, usage.size());
+    samples.push_back(std::move(usage));
+    labels.push_back(bench::ShedderName(config.shedder));
+  }
+
+  std::printf("\nCDF of per-batch cycles (budget per batch = %s):\n\n",
+              util::FmtSci(capacity, 2).c_str());
+  util::Table table({"cycles/batch", labels[0], labels[1], labels[2]});
+  // Evaluate each system's empirical CDF on a common grid.
+  double max_x = capacity * 3.0;
+  for (int step = 0; step <= 12; ++step) {
+    const double x = max_x * static_cast<double>(step) / 12.0;
+    std::vector<std::string> row = {util::FmtSci(x, 2)};
+    for (const auto& usage : samples) {
+      size_t below = 0;
+      for (const double u : usage) {
+        if (u <= x) {
+          ++below;
+        }
+      }
+      row.push_back(util::Fmt(static_cast<double>(below) / usage.size(), 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: predictive mass concentrated just below the per-batch\n"
+      "budget (rarely under/over-sampling); original and reactive exceed the\n"
+      "budget with probability > 30%% and lose whole batches (Fig 4.1).\n\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 4.4: CPU usage after load shedding, stacked by component (CoMo core
+// tasks, load shedding, prediction subsystem, queries), against the cycles
+// the system estimated it would need without shedding — showing sustained
+// ~2x overload handled within the capacity line.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shedmon;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fig 4.4", "CPU usage after shedding (stacked) vs estimated demand");
+
+  const auto trace =
+      trace::TraceGenerator(bench::Scaled(trace::CescaI(), args, 20.0)).Generate();
+  const auto names = query::StandardSevenQueryNames();
+  auto result = bench::RunAtOverload(trace, names, 0.5, core::ShedderKind::kPredictive,
+                                     shed::StrategyKind::kEqSrates, args,
+                                     /*custom=*/false, /*min_rates=*/false);
+
+  const double capacity = result.system->capacity();
+  util::Table table({"t (s)", "como", "lshed", "pred subsys", "queries", "total",
+                     "predicted (no shed)", "capacity"});
+  const auto& log = result.system->log();
+  size_t i = 0;
+  while (i < log.size()) {
+    double como = 0.0, ls = 0.0, ps = 0.0, q = 0.0, pred = 0.0;
+    const size_t start = i;
+    for (size_t j = 0; j < 10 && i < log.size(); ++j, ++i) {
+      como += log[i].como_cycles;
+      ls += log[i].ls_cycles;
+      ps += log[i].ps_cycles;
+      q += log[i].query_cycles;
+      pred += log[i].predicted_cycles;
+    }
+    table.AddRow({util::Fmt(static_cast<double>(start) / 10.0, 0), util::FmtSci(como, 2),
+                  util::FmtSci(ls, 2), util::FmtSci(ps, 2), util::FmtSci(q, 2),
+                  util::FmtSci(como + ls + ps + q, 2), util::FmtSci(pred, 2),
+                  util::FmtSci(capacity * 10.0, 2)});
+  }
+  table.Print(std::cout);
+
+  util::RunningStats ratio;
+  for (const auto& bin : log) {
+    if (bin.predicted_cycles > 0.0) {
+      ratio.Add(bin.predicted_cycles / capacity);
+    }
+  }
+  std::printf("\nmean predicted demand / capacity: %.2fx\n", ratio.mean());
+  std::printf(
+      "\nPaper shape: predicted (unshedded) demand runs at ~2x the capacity\n"
+      "line for the whole execution while the stacked post-shedding usage\n"
+      "stays at the line; overhead components are a small slice (Fig 4.4).\n\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 4.5 / 4.6: CPU usage and flows-query error with and without load
+// shedding under an injected spoofed SYN flood, on the header-only (CESCA-I)
+// and payload (CESCA-II) traces; flow sampling vs packet sampling accuracy.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace shedmon;
+
+void RunScenario(const trace::TraceSpec& base, const bench::BenchArgs& args) {
+  auto trace =
+      trace::TraceGenerator(bench::Scaled(base, args, args.quick ? 8.0 : 20.0)).Generate();
+  trace::DdosSpec flood;
+  flood.start_s = trace.spec.duration_s * 0.4;
+  flood.duration_s = trace.spec.duration_s * 0.25;
+  flood.pps = 2500.0;
+  flood.spoofed_sources = true;
+  flood.syn_flood = true;
+  InjectDdos(trace, flood, 99 + args.seed_offset);
+
+  const std::vector<std::string> names = {"flows"};
+  std::printf("\n%s + SYN flood:\n\n", base.name.c_str());
+
+  util::Table table({"system", "mean CPU/bin", "max CPU/bin", "flows err", "drops"});
+  for (const auto shedder : {core::ShedderKind::kPredictive, core::ShedderKind::kNoShed}) {
+    auto result = bench::RunAtOverload(trace, names, 0.4, shedder,
+                                       shed::StrategyKind::kEqSrates, args,
+                                       /*custom=*/false, /*min_rates=*/false);
+    util::RunningStats cpu;
+    for (const auto& bin : result.system->log()) {
+      cpu.Add(bin.query_cycles + bin.ps_cycles + bin.ls_cycles + bin.como_cycles);
+    }
+    table.AddRow({shedder == core::ShedderKind::kPredictive ? "load shedding (flow sampl.)"
+                                                            : "no load shedding",
+                  util::FmtSci(cpu.mean(), 2), util::FmtSci(cpu.max(), 2),
+                  util::FmtPercent(result.Accuracy(0).mean_error, 2),
+                  std::to_string(result.system->total_dropped())});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = shedmon::bench::BenchArgs::Parse(argc, argv);
+  shedmon::bench::PrintHeader("Fig 4.5/4.6",
+                              "CPU and flows-query error under a SYN flood, with/without LS");
+  RunScenario(shedmon::trace::CescaI(), args);
+  RunScenario(shedmon::trace::CescaII(), args);
+  std::printf(
+      "\nPaper shape: with shedding the CPU stays within ~5%% of the target and\n"
+      "the flow-sampled estimate errs ~1%%; without shedding the CPU more than\n"
+      "doubles during the attack and the error lands in the 35-40%% range\n"
+      "(Figs 4.5/4.6).\n\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 5.1: difference in average (left) and minimum (right) accuracy
+// between mmfs_pkt and mmfs_cpu when running 1 heavy and 10 light queries in
+// a simulated environment, over the (minimum sampling rate, overload level)
+// grid. Positive values show the superiority of packet-access fairness.
+
+#include "bench/bench_common.h"
+
+#include "src/game/game.h"
+
+int main(int argc, char** argv) {
+  using namespace shedmon;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fig 5.1",
+                     "mmfs_pkt - mmfs_cpu accuracy (1 heavy + 10 light queries, simulated)");
+
+  const double step = args.quick ? 0.25 : 0.1;
+
+  for (const bool minimum : {false, true}) {
+    std::printf("\n%s accuracy difference (mmfs_pkt - mmfs_cpu):\n\n",
+                minimum ? "Minimum" : "Average");
+    std::vector<std::string> header = {"mq \\ K"};
+    for (double k = 0.0; k <= 1.0 + 1e-9; k += step) {
+      header.push_back(util::Fmt(k, 2));
+    }
+    util::Table table(header);
+    for (double mq = 0.0; mq <= 1.0 + 1e-9; mq += step) {
+      std::vector<std::string> row = {util::Fmt(mq, 2)};
+      for (double k = 0.0; k <= 1.0 + 1e-9; k += step) {
+        const auto point = game::SimulateLightHeavy(mq, k);
+        row.push_back(util::Fmt(minimum ? point.min_diff() : point.avg_diff(), 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nPaper shape: the average-difference surface is nearly flat, while the\n"
+      "minimum-accuracy difference shows a positive ridge (mmfs_pkt rescues\n"
+      "the heavy query that cpu-fairness starves) that vanishes along the\n"
+      "diagonal where the heavy query is disabled under both (Fig 5.1).\n\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 5.2: the Fig. 5.1 comparison validated on the real pipeline with
+// 1 trace query and 10 counter queries processing generated traffic.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shedmon;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fig 5.2",
+                     "mmfs_pkt - mmfs_cpu accuracy with 1 trace + 10 counter queries (real)");
+
+  const auto trace_data =
+      trace::TraceGenerator(bench::Scaled(trace::CescaII(), args, args.quick ? 5.0 : 8.0))
+          .Generate();
+  std::vector<std::string> names = {"trace"};
+  for (int i = 0; i < 10; ++i) {
+    names.push_back("counter");
+  }
+
+  const double step = args.quick ? 0.5 : 0.25;
+  for (const bool minimum : {false, true}) {
+    std::printf("\n%s accuracy difference (mmfs_pkt - mmfs_cpu):\n\n",
+                minimum ? "Minimum" : "Average");
+    std::vector<std::string> header = {"mq \\ K"};
+    for (double k = 0.0; k <= 1.0 + 1e-9; k += step) {
+      header.push_back(util::Fmt(k, 2));
+    }
+    util::Table table(header);
+    for (double mq = 0.0; mq <= 1.0 + 1e-9; mq += step) {
+      std::vector<std::string> row = {util::Fmt(mq, 2)};
+      for (double k = 0.0; k <= 1.0 + 1e-9; k += step) {
+        double values[2];
+        int idx = 0;
+        for (const auto strategy :
+             {shed::StrategyKind::kMmfsCpu, shed::StrategyKind::kMmfsPkt}) {
+          core::RunSpec spec;
+          spec.system.shedder = core::ShedderKind::kPredictive;
+          spec.system.strategy = strategy;
+          const double demand = core::MeasureMeanDemand(names, trace_data, args.oracle);
+          spec.system.cycles_per_bin = std::max(1.0, demand * (1.0 - k));
+          spec.oracle = args.oracle;
+          spec.query_names = names;
+          spec.use_default_min_rates = false;
+          spec.query_configs.assign(names.size(), core::QueryConfig{mq, true});
+          auto result = RunSystemOnTrace(spec, trace_data);
+          // trace accuracy = processed fraction; counter accuracy = 1 - err.
+          double avg = 0.0;
+          double min_acc = 1.0;
+          for (size_t q = 0; q < names.size(); ++q) {
+            const double acc = result.MeanAccuracy(q);
+            avg += acc;
+            min_acc = std::min(min_acc, acc);
+          }
+          avg /= static_cast<double>(names.size());
+          values[idx++] = minimum ? min_acc : avg;
+        }
+        row.push_back(util::Fmt(values[1] - values[0], 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nPaper shape: resembles the simulation — flat average difference,\n"
+      "positive minimum-accuracy ridge for mmfs_pkt (Fig 5.2).\n\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 6.1 / 6.2 / 6.3: the p2p-detector under three shedding methods —
+// uniform packet sampling, flowwise sampling and its custom method — at the
+// same budget: prediction vs actual usage, accuracy error, and the
+// actual-vs-expected consumption ratio the enforcement correction absorbs.
+
+#include "bench/bench_common.h"
+
+#include "src/shed/sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace shedmon;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fig 6.1-6.3",
+                     "p2p-detector: packet vs flow vs custom shedding at equal budget");
+
+  const auto trace = trace::TraceGenerator(
+                         bench::Scaled(trace::UpcI(), args, args.quick ? 8.0 : 15.0))
+                         .Generate();
+  auto oracle = core::MakeOracle(args.oracle);
+
+  // Reference: unsampled run for ground truth.
+  auto reference = query::RunReference({"p2p-detector"}, trace);
+
+  util::Table table({"method", "budget fraction", "used/expected", "accuracy error"});
+  for (const double fraction : {0.3, 0.5, 0.7}) {
+    struct Method {
+      std::string label;
+      int kind;  // 0 = packet sampling, 1 = flow sampling, 2 = custom
+    };
+    for (const auto& method : {Method{"packet sampling", 0}, Method{"flow sampling", 1},
+                               Method{"custom method", 2}}) {
+      auto q = query::MakeQuery("p2p-detector");
+      shed::PacketSampler pkt_sampler(41 + args.seed_offset);
+      shed::FlowSampler flow_sampler(42 + args.seed_offset);
+
+      trace::Batcher batcher(trace, 100'000);
+      trace::Batch batch;
+      double used = 0.0;
+      double full_cost = 0.0;
+      size_t in_interval = 0;
+      // Estimate the full cost with a shadow instance for the expected line.
+      auto shadow = query::MakeQuery("p2p-detector");
+      while (batcher.Next(batch)) {
+        {
+          query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
+          core::WorkHint hint{shadow.get(), &batch.packets, 0.0};
+          full_cost +=
+              oracle->Run(core::WorkKind::kQuery, hint, [&] { shadow->ProcessBatch(in); });
+        }
+        core::WorkHint hint{q.get(), nullptr, 0.0};
+        if (method.kind == 2) {
+          query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, fraction};
+          hint.packets = &batch.packets;
+          used += oracle->Run(core::WorkKind::kQuery, hint,
+                              [&] { q->ProcessCustom(in, fraction); });
+        } else {
+          const trace::PacketVec sampled =
+              method.kind == 0 ? pkt_sampler.Sample(batch.packets, fraction)
+                               : flow_sampler.Sample(batch.packets, fraction);
+          query::BatchInput in{sampled, batch.start_us, batch.duration_us, fraction};
+          hint.packets = &sampled;
+          used +=
+              oracle->Run(core::WorkKind::kQuery, hint, [&] { q->ProcessBatch(in); });
+        }
+        if (++in_interval >= q->interval_bins()) {
+          q->EndInterval();
+          shadow->EndInterval();
+          flow_sampler.Reseed(1000 + in_interval + args.seed_offset);
+          in_interval = 0;
+        }
+      }
+      if (in_interval > 0) {
+        q->EndInterval();
+        shadow->EndInterval();
+      }
+      const double expected = fraction * full_cost;
+      table.AddRow({method.label, util::Fmt(fraction, 2),
+                    util::Fmt(used / expected, 2),
+                    util::FmtPercent(q->MeanError(*reference[0]), 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: at equal budget the custom method's accuracy error is far\n"
+      "below flow sampling, which in turn beats packet sampling (Figs 6.1/6.2);\n"
+      "the custom method's used/expected ratio deviates from 1 — the mismatch\n"
+      "the enforcement EWMA correction absorbs (Fig 6.3).\n\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 6.9: behaviour in front of new query arrivals — queries join the
+// running system every few seconds; the system re-balances the sampling
+// rates and absorbs each arrival without uncontrolled loss.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shedmon;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fig 6.9", "system response to new query arrivals");
+
+  const auto trace = trace::TraceGenerator(
+                         bench::Scaled(trace::UpcI(), args, args.quick ? 10.0 : 20.0))
+                         .Generate();
+  const std::vector<std::string> arrivals = {"counter", "flows", "top-k", "p2p-detector",
+                                             "high-watermark"};
+
+  // Capacity fits roughly three of the five queries: later arrivals force
+  // re-allocation.
+  const double demand = core::MeasureMeanDemand(arrivals, trace, args.oracle);
+  core::SystemConfig cfg;
+  cfg.cycles_per_bin = 0.6 * demand;
+  cfg.shedder = core::ShedderKind::kPredictive;
+  cfg.strategy = shed::StrategyKind::kMmfsPkt;
+  cfg.enable_custom_shedding = true;
+  core::MonitoringSystem system(cfg, core::MakeOracle(args.oracle));
+
+  trace::Batcher batcher(trace, 100'000);
+  trace::Batch batch;
+  size_t bin = 0;
+  const size_t arrival_gap = batcher.num_bins() / (arrivals.size() + 1);
+  size_t next_arrival = 0;
+  while (batcher.Next(batch)) {
+    if (next_arrival < arrivals.size() && bin >= next_arrival * arrival_gap) {
+      system.AddQuery(query::MakeQuery(arrivals[next_arrival]),
+                      {core::DefaultMinRate(arrivals[next_arrival]), true});
+      std::printf("t=%4.1fs  + query '%s' arrives\n", static_cast<double>(bin) / 10.0,
+                  arrivals[next_arrival].c_str());
+      ++next_arrival;
+    }
+    system.ProcessBatch(batch);
+    ++bin;
+  }
+  system.Finish();
+
+  std::printf("\nMean sampling rate per second (columns appear as queries join):\n\n");
+  std::vector<std::string> header = {"t (s)"};
+  for (const auto& name : arrivals) {
+    header.push_back(name);
+  }
+  header.push_back("drops");
+  util::Table table(header);
+  const auto& log = system.log();
+  for (size_t s = 0; s * 10 < log.size(); ++s) {
+    std::vector<util::RunningStats> rates(arrivals.size());
+    double drops = 0.0;
+    for (size_t j = s * 10; j < std::min(log.size(), (s + 1) * 10); ++j) {
+      for (size_t q = 0; q < log[j].rate.size(); ++q) {
+        rates[q].Add(log[j].rate[q]);
+      }
+      drops += static_cast<double>(log[j].packets_dropped);
+    }
+    std::vector<std::string> row = {util::Fmt(static_cast<double>(s), 0)};
+    for (size_t q = 0; q < arrivals.size(); ++q) {
+      row.push_back(rates[q].count() > 0 ? util::Fmt(rates[q].mean(), 2) : "-");
+    }
+    row.push_back(util::Fmt(drops, 0));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf("\ntotal uncontrolled drops: %llu\n",
+              static_cast<unsigned long long>(system.total_dropped()));
+  std::printf(
+      "\nPaper shape: each arrival lowers the common rate smoothly; the system\n"
+      "absorbs all five arrivals without uncontrolled losses (Fig 6.9).\n\n");
+  return system.total_dropped() == 0 ? 0 : 1;
+}

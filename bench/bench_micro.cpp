@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) for the per-packet primitives whose
+// "deterministic worst-case cost" the paper's design relies on (§3.2.1):
+// H3 hashing, bitmap counting, feature extraction, FCBF + MLR fitting,
+// samplers, Boyer-Moore and the allocation strategies.
+
+#include <benchmark/benchmark.h>
+
+#include "src/features/extractor.h"
+#include "src/predict/fcbf.h"
+#include "src/predict/predictors.h"
+#include "src/query/boyer_moore.h"
+#include "src/shed/sampler.h"
+#include "src/shed/strategy.h"
+#include "src/sketch/bitmap.h"
+#include "src/sketch/h3.h"
+#include "src/trace/batch.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace shedmon;
+
+const trace::Trace& SharedTrace() {
+  static const trace::Trace trace = [] {
+    trace::TraceSpec spec = trace::CescaII();
+    spec.duration_s = 3.0;
+    return trace::TraceGenerator(spec).Generate();
+  }();
+  return trace;
+}
+
+const trace::Batch& SharedBatch() {
+  static trace::Batch batch = [] {
+    trace::Batcher batcher(SharedTrace(), 1'000'000);
+    trace::Batch b;
+    batcher.Next(b);
+    return b;
+  }();
+  return batch;
+}
+
+void BM_H3Hash(benchmark::State& state) {
+  sketch::H3Hash hash(1);
+  const auto& packets = SharedBatch().packets;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto key = packets[i % packets.size()].rec->tuple.Bytes();
+    benchmark::DoNotOptimize(hash.Hash(key.data(), key.size()));
+    ++i;
+  }
+}
+BENCHMARK(BM_H3Hash);
+
+void BM_MultiResBitmapInsert(benchmark::State& state) {
+  sketch::MultiResBitmap bitmap;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    bitmap.Insert(rng.NextU64());
+  }
+}
+BENCHMARK(BM_MultiResBitmapInsert);
+
+void BM_MultiResBitmapEstimate(benchmark::State& state) {
+  sketch::MultiResBitmap bitmap;
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    bitmap.Insert(rng.NextU64());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap.Estimate());
+  }
+}
+BENCHMARK(BM_MultiResBitmapEstimate);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  features::FeatureExtractor extractor;
+  const auto& packets = SharedBatch().packets;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(packets));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_MlrFitAndPredict(benchmark::State& state) {
+  predict::MlrPredictor::Config cfg;
+  cfg.history = static_cast<size_t>(state.range(0));
+  predict::MlrPredictor predictor(cfg);
+  util::Rng rng(4);
+  features::FeatureVector f{};
+  for (size_t i = 0; i < cfg.history; ++i) {
+    f[features::kFeatPackets] = 100.0 + rng.NextDouble() * 400.0;
+    f[features::kFeatBytes] = f[features::kFeatPackets] * 700.0;
+    f[features::kFeatNewFiveTuple] = 10.0 + rng.NextDouble() * 100.0;
+    predictor.Observe(f, 40.0 * f[features::kFeatPackets]);
+  }
+  for (auto _ : state) {
+    f[features::kFeatPackets] = 100.0 + rng.NextDouble() * 400.0;
+    f[features::kFeatBytes] = f[features::kFeatPackets] * 700.0;
+    predictor.Observe(f, 40.0 * f[features::kFeatPackets]);
+    benchmark::DoNotOptimize(predictor.Predict(f));
+  }
+}
+BENCHMARK(BM_MlrFitAndPredict)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_FcbfSelection(benchmark::State& state) {
+  const size_t n = 60;
+  predict::Matrix x(n, features::kNumFeatures);
+  std::vector<double> y(n);
+  util::Rng rng(5);
+  for (size_t r = 0; r < n; ++r) {
+    for (int c = 0; c < features::kNumFeatures; ++c) {
+      x.At(r, static_cast<size_t>(c)) = rng.NextDouble() * 100.0;
+    }
+    y[r] = x.At(r, 0) * 40.0 + rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predict::SelectFeatures(x, y, 0.6));
+  }
+}
+BENCHMARK(BM_FcbfSelection);
+
+void BM_PacketSampler(benchmark::State& state) {
+  shed::PacketSampler sampler(6);
+  const auto& packets = SharedBatch().packets;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(packets, 0.5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_PacketSampler);
+
+void BM_FlowSampler(benchmark::State& state) {
+  shed::FlowSampler sampler(7);
+  const auto& packets = SharedBatch().packets;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(packets, 0.5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_FlowSampler);
+
+void BM_BoyerMoore(benchmark::State& state) {
+  const query::BoyerMoore matcher("GET / HTTP/1.1");
+  std::vector<uint8_t> text(1460);
+  util::Rng rng(8);
+  for (auto& b : text) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Find(text.data(), text.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_BoyerMoore);
+
+void BM_MmfsAllocation(benchmark::State& state) {
+  const auto strategy = shed::MakeStrategy(shed::StrategyKind::kMmfsPkt);
+  std::vector<shed::QueryDemand> demands(static_cast<size_t>(state.range(0)));
+  util::Rng rng(9);
+  double total = 0.0;
+  for (auto& d : demands) {
+    d.predicted_cycles = 100.0 + rng.NextDouble() * 1000.0;
+    d.min_sampling_rate = rng.NextDouble() * 0.5;
+    total += d.predicted_cycles;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->Allocate(demands, total * 0.5));
+  }
+}
+BENCHMARK(BM_MmfsAllocation)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Custom load shedding (Ch. 6): a user-defined query brings its own shedding
+// method instead of relying on packet/flow sampling. The example defines a
+// SYN-rate query whose custom method processes a deterministic packet stride
+// and rescales; it runs next to a selfish clone that ignores its budget and
+// is policed by the enforcement policy.
+//
+//   ./examples/custom_shedding
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "src/core/runner.h"
+#include "src/query/queries.h"
+#include "src/trace/anomaly.h"
+#include "src/trace/batch.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+#include "src/util/stats.h"
+
+namespace {
+
+using namespace shedmon;
+
+// A user-written monitoring application: counts TCP SYNs per interval (a
+// SYN-flood detector's front end). Its custom shedding method keeps every
+// k-th packet and rescales — cheaper and more accurate for a rate estimate
+// than random sampling, and entirely the query author's business.
+class SynRateQuery : public query::Query {
+ public:
+  SynRateQuery() : Query("syn-rate", 10) {}
+
+  const std::vector<double>& syn_counts() const { return snaps_; }
+
+  bool supports_custom_shedding() const override { return true; }
+
+  double IntervalError(const Query& reference, size_t interval) const override {
+    const auto* ref = dynamic_cast<const SynRateQuery*>(&reference);
+    if (ref == nullptr || interval >= snaps_.size() || interval >= ref->snaps_.size()) {
+      return 1.0;
+    }
+    return util::RelativeError(snaps_[interval], ref->snaps_[interval]);
+  }
+
+ protected:
+  void OnBatch(const query::BatchInput& in) override {
+    const double inv = 1.0 / std::max(in.sampling_rate, 1e-6);
+    for (const net::Packet& pkt : in.packets) {
+      Count(pkt, inv);
+    }
+    ChargeWork(55.0 * static_cast<double>(in.packets.size()));
+  }
+
+  void OnCustomBatch(const query::BatchInput& in, double fraction) override {
+    const size_t stride =
+        std::max<size_t>(1, static_cast<size_t>(std::llround(1.0 / std::max(fraction, 1e-3))));
+    size_t examined = 0;
+    for (size_t i = 0; i < in.packets.size(); i += stride) {
+      Count(in.packets[i], static_cast<double>(stride));
+      ++examined;
+    }
+    AdjustProcessedCount(-(static_cast<double>(in.packets.size()) -
+                           static_cast<double>(examined)));
+    ChargeWork(55.0 * static_cast<double>(examined));
+  }
+
+  void OnEndInterval(size_t) override {
+    snaps_.push_back(cur_);
+    cur_ = 0.0;
+  }
+
+ private:
+  void Count(const net::Packet& pkt, double weight) {
+    if (pkt.rec->tuple.proto == net::kProtoTcp &&
+        (pkt.rec->tcp_flags & net::kTcpSyn) != 0) {
+      cur_ += weight;
+    }
+  }
+
+  double cur_ = 0.0;
+  std::vector<double> snaps_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace shedmon;
+
+  trace::TraceSpec spec = trace::CescaII();
+  spec.duration_s = 15.0;
+  trace::Trace traffic = trace::TraceGenerator(spec).Generate();
+  trace::DdosSpec flood;
+  flood.start_s = 7.0;
+  flood.duration_s = 4.0;
+  flood.pps = 2000.0;
+  InjectDdos(traffic, flood, 77);
+
+  const std::vector<std::string> base = {"counter", "flows"};
+  const double demand = core::MeasureMeanDemand(base, traffic, core::OracleKind::kModel) * 2.0;
+
+  core::SystemConfig cfg;
+  cfg.cycles_per_bin = 0.5 * demand;
+  cfg.shedder = core::ShedderKind::kPredictive;
+  cfg.strategy = shed::StrategyKind::kMmfsPkt;
+  cfg.enable_custom_shedding = true;
+  core::MonitoringSystem system(cfg, core::MakeOracle(core::OracleKind::kModel));
+  system.AddQuery(std::make_unique<SynRateQuery>(), {0.05, true});
+  system.AddQuery(std::make_unique<query::SelfishP2pDetectorQuery>(), {0.05, true});
+  system.AddQuery(query::MakeQuery("counter"), {0.03, true});
+  system.AddQuery(query::MakeQuery("flows"), {0.05, true});
+
+  trace::Batcher batcher(traffic, 100'000);
+  trace::Batch batch;
+  while (batcher.Next(batch)) {
+    system.ProcessBatch(batch);
+  }
+  system.Finish();
+
+  // Reference run for the custom query.
+  SynRateQuery reference;
+  trace::Batcher ref_batcher(traffic, 100'000);
+  size_t bins = 0;
+  while (ref_batcher.Next(batch)) {
+    reference.ProcessBatch({batch.packets, batch.start_us, batch.duration_us, 1.0});
+    if (++bins % 10 == 0) {
+      reference.EndInterval();
+    }
+  }
+
+  const auto& syn = dynamic_cast<const SynRateQuery&>(system.query(0));
+  std::printf("SYN packets per interval (custom-shed estimate vs truth):\n");
+  for (size_t i = 0; i < syn.syn_counts().size(); ++i) {
+    std::printf("  t=%2zu s: %8.0f  (truth %8.0f)\n", i + 1, syn.syn_counts()[i],
+                i < reference.syn_counts().size() ? reference.syn_counts()[i] : 0.0);
+  }
+  std::printf("\nmean error of the custom query: %.1f%%\n",
+              syn.MeanError(reference) * 100.0);
+  std::printf("selfish neighbour policed %zu time(s); custom query policed %zu time(s)\n",
+              system.enforcement(1).times_policed(), system.enforcement(0).times_policed());
+  std::printf("uncontrolled drops: %llu\n\n",
+              static_cast<unsigned long long>(system.total_dropped()));
+  std::printf(
+      "The system delegated shedding to the query, verified actual vs granted\n"
+      "cycles every bin (§6.1.1), and disabled only the selfish neighbour.\n");
+  return 0;
+}

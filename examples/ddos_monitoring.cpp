@@ -1,0 +1,73 @@
+// DDoS monitoring scenario: the paper's motivating workload. A monitoring
+// system runs intrusion-detection-flavoured queries (flows, super-sources,
+// p2p-detector) when a spoofed SYN flood hits the link. Without load
+// shedding the capture buffer overflows exactly when the measurements matter
+// most; with the predictive scheme the system degrades gracefully and the
+// attack remains visible in the query results.
+//
+//   ./examples/ddos_monitoring
+
+#include <cstdio>
+
+#include "src/core/runner.h"
+#include "src/query/queries.h"
+#include "src/trace/anomaly.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+
+int main() {
+  using namespace shedmon;
+
+  trace::TraceSpec spec = trace::CescaII();
+  spec.duration_s = 20.0;
+  trace::Trace traffic = trace::TraceGenerator(spec).Generate();
+
+  trace::DdosSpec flood;
+  flood.start_s = 8.0;
+  flood.duration_s = 5.0;
+  flood.pps = 3000.0;
+  flood.spoofed_sources = true;
+  flood.syn_flood = true;
+  InjectDdos(traffic, flood, 1234);
+  std::printf("SYN flood injected: t = %.0f..%.0f s, %.0f pps, spoofed sources\n\n",
+              flood.start_s, flood.start_s + flood.duration_s, flood.pps);
+
+  const std::vector<std::string> queries = {"flows", "super-sources", "counter"};
+  const double demand =
+      core::MeasureMeanDemand(queries, traffic, core::OracleKind::kModel);
+
+  for (const bool shedding : {false, true}) {
+    core::RunSpec run;
+    run.system.shedder =
+        shedding ? core::ShedderKind::kPredictive : core::ShedderKind::kNoShed;
+    run.system.strategy = shed::StrategyKind::kMmfsPkt;
+    run.system.cycles_per_bin = 0.6 * demand;
+    run.oracle = core::OracleKind::kModel;
+    run.query_names = queries;
+    core::RunResult result = core::RunSystemOnTrace(run, traffic);
+
+    std::printf("=== %s ===\n", shedding ? "predictive load shedding" : "no load shedding");
+    std::printf("uncontrolled drops: %llu packets\n",
+                static_cast<unsigned long long>(result.system->total_dropped()));
+
+    // The flow count per 1 s interval is the attack's signature.
+    const auto& flows = dynamic_cast<const query::FlowsQuery&>(result.system->query(0));
+    const auto& ref_flows =
+        dynamic_cast<const query::FlowsQuery&>(*result.reference[0]);
+    std::printf("active 5-tuple flows per interval (estimate vs truth):\n");
+    for (size_t i = 0; i < flows.flow_counts().size(); i += 2) {
+      std::printf("  t=%2zu s: %8.0f  (truth %8.0f)\n", i, flows.flow_counts()[i],
+                  i < ref_flows.flow_counts().size() ? ref_flows.flow_counts()[i] : 0.0);
+    }
+    for (size_t q = 0; q < queries.size(); ++q) {
+      std::printf("%-14s mean error %.1f%%\n", queries[q].c_str(),
+                  result.Accuracy(q).mean_error * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "With shedding, the flow-count surge (the attack) stays visible and\n"
+      "accurate from sampled data; without it, batches are lost wholesale and\n"
+      "the numbers are silently wrong — the paper's core motivation.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "src/core/cost.h"
+
+#include <unordered_set>
+
+#include "src/util/cycle_clock.h"
+#include "src/util/rng.h"
+
+namespace shedmon::core {
+
+double MeasuredCostOracle::Run(WorkKind /*kind*/, const WorkHint& /*hint*/,
+                               const std::function<void()>& fn) {
+  const util::CycleTimer timer;
+  fn();
+  return static_cast<double>(timer.Elapsed());
+}
+
+double MeasuredCostOracle::DefaultBinBudget(uint64_t bin_us) const {
+  return util::CyclesPerSecond() * static_cast<double>(bin_us) * 1e-6;
+}
+
+namespace {
+
+struct BatchCounts {
+  double pkts = 0.0;
+  double bytes = 0.0;
+  double unique_5t = 0.0;
+  double unique_src = 0.0;
+  double unique_dst = 0.0;
+};
+
+BatchCounts ExactCounts(const trace::PacketVec& packets) {
+  BatchCounts c;
+  std::unordered_set<net::FiveTuple, net::FiveTupleHash> tuples;
+  std::unordered_set<uint32_t> srcs;
+  std::unordered_set<uint32_t> dsts;
+  for (const net::Packet& pkt : packets) {
+    c.pkts += 1.0;
+    c.bytes += static_cast<double>(pkt.rec->wire_len);
+    tuples.insert(pkt.rec->tuple);
+    srcs.insert(pkt.rec->tuple.src_ip);
+    dsts.insert(pkt.rec->tuple.dst_ip);
+  }
+  c.unique_5t = static_cast<double>(tuples.size());
+  c.unique_src = static_cast<double>(srcs.size());
+  c.unique_dst = static_cast<double>(dsts.size());
+  return c;
+}
+
+}  // namespace
+
+double ModelCostOracle::QueryCost(std::string_view name, const trace::PacketVec& packets) const {
+  const BatchCounts c = ExactCounts(packets);
+  // Coefficients loosely calibrated against Fig. 2.2's relative costs:
+  // byte-driven queries (trace, pattern-search, p2p-detector) at the top,
+  // plain counters at the bottom, flow-state queries in between.
+  if (name == "counter") {
+    return 40.0 * c.pkts;
+  }
+  if (name == "application") {
+    return 70.0 * c.pkts;
+  }
+  if (name == "high-watermark") {
+    return 45.0 * c.pkts;
+  }
+  if (name == "flows") {
+    return 90.0 * c.pkts + 700.0 * c.unique_5t;
+  }
+  if (name == "top-k") {
+    return 110.0 * c.pkts + 350.0 * c.unique_dst;
+  }
+  if (name == "trace") {
+    return 25.0 * c.pkts + 1.6 * c.bytes;
+  }
+  if (name == "pattern-search") {
+    return 30.0 * c.pkts + 2.6 * c.bytes;
+  }
+  if (name == "p2p-detector") {
+    return 60.0 * c.pkts + 1.8 * c.bytes + 900.0 * c.unique_5t;
+  }
+  if (name == "autofocus") {
+    return 80.0 * c.pkts + 260.0 * c.unique_src;
+  }
+  if (name == "super-sources") {
+    return 85.0 * c.pkts + 420.0 * c.unique_src;
+  }
+  // Unknown (user-defined) query: generic packet+byte model.
+  return 60.0 * c.pkts + 0.5 * c.bytes;
+}
+
+double ModelCostOracle::Run(WorkKind kind, const WorkHint& hint,
+                            const std::function<void()>& fn) {
+  fn();
+  ++call_count_;
+  // +/-1% deterministic pseudo-noise so the regression problem is not exact.
+  const double noise =
+      1.0 + 0.02 * (static_cast<double>(util::HashU64(call_count_) % 1000) / 1000.0 - 0.5);
+
+  const double pkts =
+      hint.packets != nullptr ? static_cast<double>(hint.packets->size()) : 0.0;
+  switch (kind) {
+    case WorkKind::kQuery: {
+      if (hint.query != nullptr) {
+        const double current = hint.query->work_units();
+        double& last = last_work_[hint.query];
+        const double delta = current - last;
+        last = current;
+        if (delta > 0.0) {
+          return delta * noise;
+        }
+      }
+      // Note: both operands of each conditional must share a reference type,
+      // otherwise a temporary is materialized and the view would dangle.
+      static const trace::PacketVec kEmpty;
+      const std::string_view name =
+          hint.query != nullptr ? std::string_view(hint.query->name()) : std::string_view();
+      const trace::PacketVec& packets = hint.packets != nullptr ? *hint.packets : kEmpty;
+      return QueryCost(name, packets) * noise;
+    }
+    case WorkKind::kFeatureExtraction:
+      // Ten hashes + ten bitmap inserts per packet; sized so the whole
+      // prediction subsystem lands near the ~10% overhead of Table 3.4 for
+      // a seven-query workload (extraction dominating, as in the paper).
+      return (300.0 + 30.0 * pkts) * noise;
+    case WorkKind::kFcbfMlr:
+      return (600.0 + 8.0 * hint.aux) * noise;
+    case WorkKind::kSampling:
+      return (50.0 + 2.0 * pkts) * noise;
+  }
+  return 0.0;
+}
+
+double ModelCostOracle::DefaultBinBudget(uint64_t bin_us) const {
+  // The model's cycle scale is arbitrary; 6e5 cycles per 100 ms roughly fits
+  // the default traces' per-bin demand, but experiments set capacity via K.
+  return 6e5 * static_cast<double>(bin_us) / 100'000.0;
+}
+
+std::unique_ptr<CostOracle> MakeOracle(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kMeasured:
+      return std::make_unique<MeasuredCostOracle>();
+    case OracleKind::kModel:
+      return std::make_unique<ModelCostOracle>();
+  }
+  return nullptr;
+}
+
+}  // namespace shedmon::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/query/accuracy.h"
+#include "src/trace/generator.h"
+
+namespace shedmon::core {
+
+// Minimum sampling-rate constraints (m_q) for the standard queries, taken
+// from Table 5.2 of the thesis (p2p-detector from the Ch. 6 validation).
+double DefaultMinRate(std::string_view query_name);
+
+struct RunSpec {
+  SystemConfig system;
+  OracleKind oracle = OracleKind::kModel;
+  std::vector<std::string> query_names;
+  // Optional per-query overrides; when empty, DefaultMinRate is used for m_q
+  // on the mmfs/eq strategies and 0 elsewhere.
+  std::vector<QueryConfig> query_configs;
+  bool use_default_min_rates = true;
+};
+
+// Output of a full system run plus the reference (unsampled) instances the
+// accuracy of every query is measured against.
+struct RunResult {
+  std::unique_ptr<MonitoringSystem> system;  // holds logs and shed queries
+  std::vector<std::unique_ptr<query::Query>> reference;
+
+  // Mean / stdev interval error of query i against its reference.
+  query::AccuracyRow Accuracy(size_t i) const;
+  // 1 - mean error, the "accuracy" of Ch. 5/6 plots.
+  double MeanAccuracy(size_t i) const;
+  double AverageAccuracy() const;  // across queries
+  double MinimumAccuracy() const;  // worst query
+};
+
+// Runs the configured system over the trace (and the reference instances over
+// the unsampled trace) and returns both.
+RunResult RunSystemOnTrace(const RunSpec& spec, const trace::Trace& trace);
+
+// Mean per-bin cycles demanded by full (unsampled) processing of the given
+// queries — the thesis's experimentally determined capacity C. Experiments
+// set cycles_per_bin = MeasureMeanDemand(...) * (1 - K) to create an overload
+// factor K (§5.4: "K = 0.5 ... resource demands are twice the capacity").
+double MeasureMeanDemand(const std::vector<std::string>& names, const trace::Trace& trace,
+                         OracleKind oracle, uint64_t bin_us = 100'000);
+
+}  // namespace shedmon::core

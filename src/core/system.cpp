@@ -1,0 +1,400 @@
+#include "src/core/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shedmon::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+// Above this rate the batch is considered unsampled and the history can be
+// updated with full-cost observations on the custom-shedding path.
+constexpr double kNearFullRate = 0.95;
+}  // namespace
+
+MonitoringSystem::MonitoringSystem(const SystemConfig& config,
+                                   std::unique_ptr<CostOracle> oracle)
+    : config_(config),
+      oracle_(std::move(oracle)),
+      strategy_(shed::MakeStrategy(config.strategy)),
+      sys_extractor_(config.extractor),
+      rng_(config.seed),
+      error_ewma_(config.ewma_alpha, 0.0),
+      ls_ewma_(config.ewma_alpha, 0.0),
+      ps_ewma_(config.ewma_alpha, 0.0) {
+  capacity_ = config_.cycles_per_bin > 0.0 ? config_.cycles_per_bin
+                                           : oracle_->DefaultBinBudget(config_.time_bin_us);
+  ssthresh_ = config_.buffer_bins * capacity_;  // "initialized to infinity" (§4.1)
+}
+
+MonitoringSystem::~MonitoringSystem() = default;
+
+query::Query& MonitoringSystem::AddQuery(std::unique_ptr<query::Query> query,
+                                         const QueryConfig& config) {
+  auto runtime = std::make_unique<QueryRuntime>(QueryRuntime{
+      std::move(query), config,
+      predict::PredictionEngine(config_.predictor, config_.extractor),
+      shed::PacketSampler(rng_.NextU64()), shed::FlowSampler(rng_.NextU64()),
+      shed::EnforcementPolicy(config_.enforcement), 0, 0.0});
+  queries_.push_back(std::move(runtime));
+  return *queries_.back()->query;
+}
+
+void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
+  BinLog log;
+  log.start_us = batch.start_us;
+  log.packets_in = batch.size();
+  log.rate.assign(queries_.size(), 0.0);
+  log.per_query_cycles.assign(queries_.size(), 0.0);
+  log.disabled.assign(queries_.size(), false);
+  log.como_cycles = config_.como_overhead_fraction * capacity_;
+  total_packets_ += batch.size();
+
+  const double buffer_cap = config_.buffer_bins * capacity_;
+
+  // Capture-buffer emulation: when the backlog has filled the buffer, the
+  // incoming batch is lost in its entirety before any processing — these are
+  // the uncontrolled "DAG drops" of Fig. 4.2. The bin still drains capacity.
+  if (backlog_cycles_ >= buffer_cap - kEps) {
+    log.batch_dropped = true;
+    log.packets_dropped = batch.size();
+    total_dropped_ += batch.size();
+    backlog_cycles_ = std::max(0.0, backlog_cycles_ - capacity_);
+    log.backlog_cycles = backlog_cycles_;
+    log.rtthresh = rtthresh_;
+    TickIntervals();
+    log_.push_back(std::move(log));
+    return;
+  }
+
+  switch (config_.shedder) {
+    case ShedderKind::kPredictive:
+      RunPredictive(batch, log);
+      break;
+    case ShedderKind::kReactive:
+      RunReactive(batch, log);
+      break;
+    case ShedderKind::kNoShed:
+      RunNoShed(batch, log);
+      break;
+  }
+
+  const double spent =
+      log.query_cycles + log.ps_cycles + log.ls_cycles + log.como_cycles;
+  UpdateBufferAndThreshold(spent);
+  log.backlog_cycles = backlog_cycles_;
+  log.rtthresh = rtthresh_;
+
+  TickIntervals();
+  log_.push_back(std::move(log));
+}
+
+double MonitoringSystem::ExecuteQuery(QueryRuntime& qr, const trace::Batch& batch, double rate,
+                                      bool update_history,
+                                      const features::FeatureVector* shared_features,
+                                      BinLog& log) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  const trace::PacketVec* packets = &batch.packets;
+  trace::PacketVec sampled;
+  if (rate < 1.0 - kEps) {
+    WorkHint sample_hint{qr.query.get(), &batch.packets, 0.0};
+    log.ls_cycles += oracle_->Run(WorkKind::kSampling, sample_hint, [&] {
+      if (qr.query->preferred_sampling() == query::SamplingMethod::kFlow) {
+        sampled = qr.flow_sampler.Sample(batch.packets, rate);
+      } else {
+        sampled = qr.pkt_sampler.Sample(batch.packets, rate);
+      }
+    });
+    packets = &sampled;
+  }
+
+  // Re-extract features on the batch the query actually processes so the
+  // regression history stays consistent (Alg. 1 line 12); charged to the
+  // load shedding subsystem when sampling was applied. At full rate the
+  // prediction-stage extraction is reused when available (§3.4.4 sharing).
+  // Reactive mode keeps no history and skips this entirely.
+  features::FeatureVector processed_features{};
+  if (update_history) {
+    if (rate >= 1.0 - kEps && shared_features != nullptr) {
+      processed_features = *shared_features;
+    } else {
+      WorkHint extract_hint{qr.query.get(), packets, 0.0};
+      const double extract_cycles =
+          oracle_->Run(WorkKind::kFeatureExtraction, extract_hint, [&] {
+            processed_features = qr.engine.extractor().Extract(*packets);
+          });
+      if (rate < 1.0 - kEps) {
+        log.ls_cycles += extract_cycles;
+      } else {
+        log.ps_cycles += extract_cycles;
+      }
+    }
+  }
+
+  query::BatchInput in{*packets, batch.start_us, batch.duration_us, rate};
+  WorkHint query_hint{qr.query.get(), packets, 0.0};
+  const double used =
+      oracle_->Run(WorkKind::kQuery, query_hint, [&] { qr.query->ProcessBatch(in); });
+
+  if (update_history) {
+    WorkHint fit_hint{qr.query.get(), nullptr,
+                      static_cast<double>(config_.predictor.history)};
+    log.ps_cycles += oracle_->Run(WorkKind::kFcbfMlr, fit_hint, [&] {
+      qr.engine.ObserveActual(processed_features, used);
+    });
+  }
+
+  log.packets_unsampled +=
+      (static_cast<double>(batch.size()) - static_cast<double>(packets->size())) /
+      std::max<double>(1.0, static_cast<double>(queries_.size()));
+  qr.last_cycles = used;
+  return used;
+}
+
+double MonitoringSystem::ExecuteCustom(QueryRuntime& qr, const trace::Batch& batch, double rate,
+                                       double granted, BinLog& log) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  // The query receives the *unsampled* batch (sampling_rate = 1); the budget
+  // fraction travels separately so custom methods don't double-correct.
+  query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
+  WorkHint query_hint{qr.query.get(), &batch.packets, 0.0};
+  const double used =
+      oracle_->Run(WorkKind::kQuery, query_hint, [&] { qr.query->ProcessCustom(in, rate); });
+
+  // §6.1.1: compare actual vs expected consumption; the correction factor and
+  // the policing decision both come from this observation.
+  qr.enforcement.Observe(granted, used);
+
+  // History discipline for custom shedding: the model must keep predicting
+  // the query's *full* cost from the input features, so only genuine
+  // full-cost samples (near-full-rate bins) are fed back; shed bins leave
+  // the coefficients untouched and predictions still track the traffic
+  // through the features. (Feeding back used/rate would let a selfish query
+  // launder its overuse into inflated demand; feeding back the model's own
+  // prediction creates a self-reinforcing drift.)
+  if (rate >= kNearFullRate) {
+    features::FeatureVector full_features{};
+    WorkHint extract_hint{qr.query.get(), &batch.packets, 0.0};
+    log.ps_cycles += oracle_->Run(WorkKind::kFeatureExtraction, extract_hint, [&] {
+      full_features = qr.engine.extractor().Extract(batch.packets);
+    });
+    WorkHint fit_hint{qr.query.get(), nullptr,
+                      static_cast<double>(config_.predictor.history)};
+    log.ps_cycles += oracle_->Run(WorkKind::kFcbfMlr, fit_hint, [&] {
+      qr.engine.ObserveActual(full_features, used);
+    });
+  }
+
+  log.packets_unsampled += static_cast<double>(batch.size()) * (1.0 - rate) /
+                           std::max<double>(1.0, static_cast<double>(queries_.size()));
+  qr.last_cycles = used;
+  return used;
+}
+
+void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
+  const size_t n = queries_.size();
+
+  // Phase 1 (Alg. 1 lines 3-6): shared feature extraction + per-query
+  // prediction of the cost of the full batch.
+  features::FeatureVector f_full{};
+  WorkHint extract_hint{nullptr, &batch.packets, 0.0};
+  log.ps_cycles += oracle_->Run(WorkKind::kFeatureExtraction, extract_hint,
+                                [&] { f_full = sys_extractor_.Extract(batch.packets); });
+
+  std::vector<double> pred(n, 0.0);
+  double pred_total = 0.0;
+  for (size_t q = 0; q < n; ++q) {
+    pred[q] = std::max(0.0, queries_[q]->engine.PredictCycles(f_full));
+    pred_total += pred[q];
+  }
+  log.predicted_cycles = pred_total;
+
+  // Phase 2 (line 7): available cycles, corrected by measured overheads and
+  // the buffer-discovery slack (rtthresh - delay). The effective slack is
+  // additionally capped by the remaining buffer headroom so one bin's
+  // overshoot can never fill the capture buffer and cause drops.
+  const double ps_hat = std::max(ps_ewma_.value(), log.ps_cycles);
+  double avail = capacity_ - log.como_cycles - ps_hat;
+  if (config_.rtthresh_enabled) {
+    // Borrow at most one bin's worth of buffer: enough to smooth transient
+    // under-use, small enough that rate decisions stay stable and a badly
+    // under-predicted burst still fits in the remaining buffer headroom.
+    const double headroom = std::max(0.0, capacity_ - backlog_cycles_);
+    avail += std::min(rtthresh_, headroom) - backlog_cycles_;
+  } else {
+    avail -= backlog_cycles_;
+  }
+  avail = std::max(0.0, avail);
+  log.avail_cycles = avail;
+
+  // Phase 3 (lines 8-9): decide whether and how much to shed. Demands are
+  // inflated by the prediction-error EWMA as a safety margin, and by each
+  // query's enforcement correction when custom shedding is active.
+  const double err = config_.error_margin_enabled ? error_ewma_.value() : 0.0;
+  const double ls_hat = ls_ewma_.value();
+  const double budget = std::max(0.0, avail - ls_hat);
+  std::vector<shed::QueryDemand> demands(n);
+  for (size_t q = 0; q < n; ++q) {
+    double demand = pred[q] * (1.0 + err);
+    if (config_.enable_custom_shedding) {
+      demand *= queries_[q]->enforcement.correction();
+    }
+    demands[q].predicted_cycles = std::max(demand, 1.0);
+    demands[q].min_sampling_rate = queries_[q]->config.min_sampling_rate;
+  }
+  shed::Allocation alloc = strategy_->Allocate(demands, budget);
+  log.overload = pred_total * (1.0 + err) > budget + kEps;
+
+  // Phase 4 (lines 10-16): shed and execute.
+  double used_total = 0.0;
+  double expected_total = 0.0;
+  double measured_ls = 0.0;
+  for (size_t q = 0; q < n; ++q) {
+    QueryRuntime& qr = *queries_[q];
+    if (config_.enable_custom_shedding && qr.enforcement.InPenalty()) {
+      qr.enforcement.Tick();
+      alloc.rate[q] = 0.0;
+      alloc.disabled[q] = true;
+    }
+    if (qr.engine.predictor().history_size() < config_.warmup_observations) {
+      // Probe cautiously while the cost model is cold, but never undercut the
+      // user's declared minimum rate (m_q is a contract, §5.2).
+      const double probe =
+          std::max(config_.bootstrap_rate, qr.config.min_sampling_rate);
+      alloc.rate[q] = std::min(alloc.rate[q], probe);
+    }
+    log.rate[q] = alloc.rate[q];
+    log.disabled[q] = alloc.disabled[q];
+    if (alloc.disabled[q] || alloc.rate[q] <= kEps) {
+      log.packets_unsampled += static_cast<double>(batch.size()) /
+                               std::max<double>(1.0, static_cast<double>(n));
+      qr.last_cycles = 0.0;
+      continue;
+    }
+    const double ls_before = log.ls_cycles;
+    double used;
+    // Custom shedding is only delegated once the query's cost model is warm:
+    // the system needs a trustworthy full-cost prediction before it can
+    // verify that the query honours its budget (§6.1.1). Until then the
+    // query is sampled like any other, which also yields clean
+    // (features, cycles) observations to bootstrap the model.
+    const bool custom_ready = config_.enable_custom_shedding &&
+                              qr.config.allow_custom_shedding &&
+                              qr.query->supports_custom_shedding() &&
+                              qr.engine.predictor().history_size() >=
+                                  config_.warmup_observations;
+    if (custom_ready) {
+      used = ExecuteCustom(qr, batch, alloc.rate[q], alloc.rate[q] * pred[q], log);
+    } else {
+      used = ExecuteQuery(qr, batch, alloc.rate[q], /*update_history=*/true, &f_full, log);
+    }
+    measured_ls += log.ls_cycles - ls_before;
+    log.per_query_cycles[q] = used;
+    used_total += used;
+    expected_total += alloc.rate[q] * pred[q];
+  }
+  log.query_cycles = used_total;
+
+  // Phase 5 (line 17 + §4.3): smoothers for the next bin.
+  if (used_total > kEps && expected_total > kEps) {
+    error_ewma_.Update(std::max(0.0, 1.0 - expected_total / used_total));
+  }
+  ls_ewma_.Update(measured_ls);
+  ps_ewma_.Update(log.ps_cycles);
+}
+
+void MonitoringSystem::RunReactive(const trace::Batch& batch, BinLog& log) {
+  // Eq. 4.1: the sampling rate follows the previous bin's consumption.
+  const double avail = std::max(0.0, capacity_ - log.como_cycles - backlog_cycles_);
+  log.avail_cycles = avail;
+  if (reactive_consumed_prev_ > kEps) {
+    reactive_rate_ = std::min(
+        1.0, std::max(config_.reactive_min_rate,
+                      reactive_rate_ * avail / reactive_consumed_prev_));
+  } else {
+    reactive_rate_ = 1.0;
+  }
+  log.overload = reactive_rate_ < 1.0 - kEps;
+
+  double used_total = 0.0;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    QueryRuntime& qr = *queries_[q];
+    log.rate[q] = reactive_rate_;
+    const double used =
+        ExecuteQuery(qr, batch, reactive_rate_, /*update_history=*/false, nullptr, log);
+    log.per_query_cycles[q] = used;
+    used_total += used;
+  }
+  // Reactive systems skip the prediction subsystem: no history upkeep.
+  log.ps_cycles = 0.0;
+  log.query_cycles = used_total;
+  reactive_consumed_prev_ = used_total + log.ls_cycles;
+}
+
+void MonitoringSystem::RunNoShed(const trace::Batch& batch, BinLog& log) {
+  log.avail_cycles = std::max(0.0, capacity_ - log.como_cycles);
+  double used_total = 0.0;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    QueryRuntime& qr = *queries_[q];
+    log.rate[q] = 1.0;
+    query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
+    WorkHint hint{qr.query.get(), &batch.packets, 0.0};
+    const double used =
+        oracle_->Run(WorkKind::kQuery, hint, [&] { qr.query->ProcessBatch(in); });
+    log.per_query_cycles[q] = used;
+    qr.last_cycles = used;
+    used_total += used;
+  }
+  log.query_cycles = used_total;
+  log.overload = used_total > log.avail_cycles;
+}
+
+void MonitoringSystem::TickIntervals() {
+  for (auto& qr_ptr : queries_) {
+    QueryRuntime& qr = *qr_ptr;
+    if (++qr.bins_in_interval >= qr.query->interval_bins()) {
+      qr.query->EndInterval();
+      qr.engine.StartInterval();
+      qr.flow_sampler.Reseed(rng_.NextU64());
+      qr.bins_in_interval = 0;
+    }
+  }
+  if (++sys_bins_in_interval_ >= config_.system_interval_bins) {
+    sys_extractor_.StartInterval();
+    sys_bins_in_interval_ = 0;
+  }
+}
+
+void MonitoringSystem::UpdateBufferAndThreshold(double spent_total) {
+  const double buffer_cap = config_.buffer_bins * capacity_;
+  backlog_cycles_ = std::max(0.0, backlog_cycles_ + spent_total - capacity_);
+
+  if (!config_.rtthresh_enabled) {
+    return;
+  }
+  // §4.1 buffer discovery: grow the allowance while the system underuses its
+  // budget; collapse it (slow-start style) when the buffer starts filling.
+  if (backlog_cycles_ > std::min(capacity_, 0.5 * buffer_cap)) {
+    ssthresh_ = std::max(rtthresh_ / 2.0, capacity_ * 0.01);
+    rtthresh_ = 0.0;
+  } else if (spent_total < capacity_) {
+    if (rtthresh_ < ssthresh_) {
+      rtthresh_ = std::max(capacity_ * 0.001, rtthresh_ * 2.0);  // exponential
+    } else {
+      rtthresh_ += capacity_ * 0.01;  // linear
+    }
+    rtthresh_ = std::min(rtthresh_, std::min(capacity_, 0.9 * buffer_cap));
+  }
+}
+
+void MonitoringSystem::Finish() {
+  for (auto& qr_ptr : queries_) {
+    QueryRuntime& qr = *qr_ptr;
+    if (qr.bins_in_interval > 0) {
+      qr.query->EndInterval();
+      qr.bins_in_interval = 0;
+    }
+  }
+}
+
+}  // namespace shedmon::core

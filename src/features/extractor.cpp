@@ -1,0 +1,82 @@
+#include "src/features/extractor.h"
+
+#include <algorithm>
+
+namespace shedmon::features {
+
+namespace {
+template <size_t... I>
+std::array<sketch::H3Hash, sizeof...(I)> MakeHashes(uint64_t seed, std::index_sequence<I...>) {
+  return {sketch::H3Hash(seed + 0x9e37 * (I + 1))...};
+}
+
+std::array<sketch::MultiResBitmap, kNumAggregates> MakeBitmaps(const FeatureExtractor::Config& c) {
+  std::array<sketch::MultiResBitmap, kNumAggregates> out{
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits),
+      sketch::MultiResBitmap(c.mrb_components, c.mrb_bits)};
+  return out;
+}
+}  // namespace
+
+FeatureExtractor::FeatureExtractor() : FeatureExtractor(Config()) {}
+
+FeatureExtractor::FeatureExtractor(const Config& config)
+    : config_(config),
+      hashes_(MakeHashes(config.seed, std::make_index_sequence<kNumAggregates>())),
+      batch_bm_(MakeBitmaps(config)),
+      interval_bm_(MakeBitmaps(config)) {}
+
+void FeatureExtractor::StartInterval() {
+  for (auto& bm : interval_bm_) {
+    bm.Clear();
+  }
+}
+
+FeatureVector FeatureExtractor::Extract(const trace::PacketVec& packets) {
+  FeatureVector f{};
+  double bytes = 0.0;
+  for (auto& bm : batch_bm_) {
+    bm.Clear();
+  }
+
+  uint8_t key[13];
+  for (const net::Packet& pkt : packets) {
+    bytes += pkt.rec->wire_len;
+    const net::FiveTuple& t = pkt.rec->tuple;
+    for (int a = 0; a < kNumAggregates; ++a) {
+      const size_t len = AggregateKey(t, static_cast<Aggregate>(a), key);
+      const uint64_t h = hashes_[static_cast<size_t>(a)].Hash(key, len);
+      batch_bm_[static_cast<size_t>(a)].Insert(h);
+    }
+  }
+
+  const double pkts = static_cast<double>(packets.size());
+  f[kFeatPackets] = pkts;
+  f[kFeatBytes] = bytes;
+
+  for (int a = 0; a < kNumAggregates; ++a) {
+    const auto agg = static_cast<Aggregate>(a);
+    const auto& batch = batch_bm_[static_cast<size_t>(a)];
+    auto& interval = interval_bm_[static_cast<size_t>(a)];
+
+    const double unique = std::min(batch.Estimate(), pkts);
+    const double fresh = std::min(interval.CountNew(batch), unique);
+    interval.Union(batch);
+
+    f[FeatureIndex(agg, Counter::kUnique)] = unique;
+    f[FeatureIndex(agg, Counter::kNew)] = fresh;
+    f[FeatureIndex(agg, Counter::kRepeatedBatch)] = std::max(0.0, pkts - unique);
+    f[FeatureIndex(agg, Counter::kRepeatedInterval)] = std::max(0.0, pkts - fresh);
+  }
+  return f;
+}
+
+}  // namespace shedmon::features

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "src/features/features.h"
+#include "src/sketch/bitmap.h"
+#include "src/sketch/h3.h"
+#include "src/trace/batch.h"
+
+namespace shedmon::features {
+
+// Extracts the 42-feature vector from a batch of packets using
+// multi-resolution bitmaps (§3.2.1): one bitmap per aggregate for the batch
+// ("unique") and one persisting across the measurement interval ("new", via
+// the bitwise-OR merge). Worst-case per-packet cost is deterministic: ten H3
+// hashes and ten bitmap inserts.
+class FeatureExtractor {
+ public:
+  struct Config {
+    uint32_t mrb_components = 12;
+    uint32_t mrb_bits = 512;
+    uint64_t seed = 0x5eed;
+  };
+
+  FeatureExtractor();
+  explicit FeatureExtractor(const Config& config);
+
+  // Resets the per-interval state ("new"-item bitmaps). Call at every
+  // measurement-interval boundary.
+  void StartInterval();
+
+  // Computes the feature vector for the given packets and folds their keys
+  // into the interval state.
+  FeatureVector Extract(const trace::PacketVec& packets);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::array<sketch::H3Hash, kNumAggregates> hashes_;
+  std::array<sketch::MultiResBitmap, kNumAggregates> batch_bm_;
+  std::array<sketch::MultiResBitmap, kNumAggregates> interval_bm_;
+};
+
+}  // namespace shedmon::features

@@ -1,0 +1,122 @@
+#include "src/features/features.h"
+
+#include <cstring>
+
+namespace shedmon::features {
+
+std::string_view AggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kSrcIp:
+      return "src-ip";
+    case Aggregate::kDstIp:
+      return "dst-ip";
+    case Aggregate::kProto:
+      return "proto";
+    case Aggregate::kSrcDstIp:
+      return "src-dst-ip";
+    case Aggregate::kSrcPortProto:
+      return "src-port-proto";
+    case Aggregate::kDstPortProto:
+      return "dst-port-proto";
+    case Aggregate::kSrcIpSrcPortProto:
+      return "src-ip-port-proto";
+    case Aggregate::kDstIpDstPortProto:
+      return "dst-ip-port-proto";
+    case Aggregate::kSrcDstPortProto:
+      return "src-dst-port-proto";
+    case Aggregate::kFiveTuple:
+      return "5-tuple";
+  }
+  return "unknown";
+}
+
+namespace {
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kUnique:
+      return "unique";
+    case Counter::kNew:
+      return "new";
+    case Counter::kRepeatedBatch:
+      return "rep-batch";
+    case Counter::kRepeatedInterval:
+      return "rep-interval";
+  }
+  return "unknown";
+}
+
+// Static storage for composed feature names, built once.
+const std::array<std::string, kNumFeatures>& AllNames() {
+  static const std::array<std::string, kNumFeatures> names = [] {
+    std::array<std::string, kNumFeatures> out;
+    out[kFeatPackets] = "packets";
+    out[kFeatBytes] = "bytes";
+    for (int a = 0; a < kNumAggregates; ++a) {
+      for (int c = 0; c < kCountersPerAggregate; ++c) {
+        const auto agg = static_cast<Aggregate>(a);
+        const auto cnt = static_cast<Counter>(c);
+        out[FeatureIndex(agg, cnt)] =
+            std::string(CounterName(cnt)) + "_" + std::string(AggregateName(agg));
+      }
+    }
+    return out;
+  }();
+  return names;
+}
+}  // namespace
+
+std::string_view FeatureName(int index) {
+  if (index < 0 || index >= kNumFeatures) {
+    return "invalid";
+  }
+  return AllNames()[static_cast<size_t>(index)];
+}
+
+size_t AggregateKey(const net::FiveTuple& t, Aggregate agg, uint8_t out[13]) {
+  switch (agg) {
+    case Aggregate::kSrcIp:
+      std::memcpy(out, &t.src_ip, 4);
+      return 4;
+    case Aggregate::kDstIp:
+      std::memcpy(out, &t.dst_ip, 4);
+      return 4;
+    case Aggregate::kProto:
+      out[0] = t.proto;
+      return 1;
+    case Aggregate::kSrcDstIp:
+      std::memcpy(out, &t.src_ip, 4);
+      std::memcpy(out + 4, &t.dst_ip, 4);
+      return 8;
+    case Aggregate::kSrcPortProto:
+      std::memcpy(out, &t.src_port, 2);
+      out[2] = t.proto;
+      return 3;
+    case Aggregate::kDstPortProto:
+      std::memcpy(out, &t.dst_port, 2);
+      out[2] = t.proto;
+      return 3;
+    case Aggregate::kSrcIpSrcPortProto:
+      std::memcpy(out, &t.src_ip, 4);
+      std::memcpy(out + 4, &t.src_port, 2);
+      out[6] = t.proto;
+      return 7;
+    case Aggregate::kDstIpDstPortProto:
+      std::memcpy(out, &t.dst_ip, 4);
+      std::memcpy(out + 4, &t.dst_port, 2);
+      out[6] = t.proto;
+      return 7;
+    case Aggregate::kSrcDstPortProto:
+      std::memcpy(out, &t.src_port, 2);
+      std::memcpy(out + 2, &t.dst_port, 2);
+      out[4] = t.proto;
+      return 5;
+    case Aggregate::kFiveTuple: {
+      const auto bytes = t.Bytes();
+      std::memcpy(out, bytes.data(), bytes.size());
+      return bytes.size();
+    }
+  }
+  return 0;
+}
+
+}  // namespace shedmon::features

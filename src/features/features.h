@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/net/packet.h"
+
+namespace shedmon::features {
+
+// The paper extracts, per batch: packet and byte totals plus four counters
+// ({unique, new, repeated-in-batch, repeated-in-interval}) over the ten
+// TCP/IP header aggregates of Table 3.1 — 42 features in total.
+inline constexpr int kNumAggregates = 10;
+inline constexpr int kCountersPerAggregate = 4;
+inline constexpr int kNumFeatures = 2 + kNumAggregates * kCountersPerAggregate;
+
+inline constexpr int kFeatPackets = 0;
+inline constexpr int kFeatBytes = 1;
+
+enum class Counter : int { kUnique = 0, kNew = 1, kRepeatedBatch = 2, kRepeatedInterval = 3 };
+
+// Aggregates of Table 3.1, in order.
+enum class Aggregate : int {
+  kSrcIp = 0,
+  kDstIp,
+  kProto,
+  kSrcDstIp,
+  kSrcPortProto,
+  kDstPortProto,
+  kSrcIpSrcPortProto,
+  kDstIpDstPortProto,
+  kSrcDstPortProto,
+  kFiveTuple,
+};
+
+constexpr int FeatureIndex(Aggregate agg, Counter c) {
+  return 2 + static_cast<int>(agg) * kCountersPerAggregate + static_cast<int>(c);
+}
+
+// Convenience indices used by predictors and tests.
+inline constexpr int kFeatNewFiveTuple = FeatureIndex(Aggregate::kFiveTuple, Counter::kNew);
+inline constexpr int kFeatUniqueFiveTuple = FeatureIndex(Aggregate::kFiveTuple, Counter::kUnique);
+inline constexpr int kFeatNewDstIpPortProto =
+    FeatureIndex(Aggregate::kDstIpDstPortProto, Counter::kNew);
+
+using FeatureVector = std::array<double, kNumFeatures>;
+
+std::string_view FeatureName(int index);
+std::string_view AggregateName(Aggregate agg);
+
+// Serializes the aggregate's key bytes for a tuple; returns the key length.
+size_t AggregateKey(const net::FiveTuple& tuple, Aggregate agg, uint8_t out[13]);
+
+}  // namespace shedmon::features

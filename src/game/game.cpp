@@ -1,0 +1,257 @@
+#include "src/game/game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace shedmon::game {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+// Returns the active set (players whose minimum demands are satisfied):
+// sort by demand ascending; the largest demands are dropped first until the
+// cumulative sum fits the capacity (§5.2.1's disabling rule).
+std::vector<bool> ActiveSet(const std::vector<double>& actions, double capacity) {
+  const size_t n = actions.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (actions[a] != actions[b]) {
+      return actions[a] < actions[b];
+    }
+    return a < b;
+  });
+  std::vector<bool> active(n, false);
+  double total = 0.0;
+  for (const size_t q : order) {
+    if (total + actions[q] <= capacity + kEps) {
+      active[q] = true;
+      total += actions[q];
+    } else {
+      break;  // everything at or above this demand is disabled
+    }
+  }
+  return active;
+}
+
+// Max-min fair split of `spare` among active players with per-player caps
+// (their remaining demand). For the CPU game this is plain water-filling of
+// cycles; the packet-access variant levels sampling rates instead.
+std::vector<double> ShareSpare(const GameConfig& config, const std::vector<double>& actions,
+                               const std::vector<bool>& active, double spare) {
+  const size_t n = actions.size();
+  std::vector<double> share(n, 0.0);
+  if (spare <= kEps) {
+    return share;
+  }
+  std::vector<double> cap(n, 0.0);
+  for (size_t q = 0; q < n; ++q) {
+    if (!active[q]) {
+      continue;
+    }
+    const double full =
+        q < config.full_demand.size() ? config.full_demand[q] : config.capacity * 1e6;
+    cap[q] = std::max(0.0, full - actions[q]);
+  }
+
+  if (config.share == shed::StrategyKind::kMmfsPkt) {
+    // Level in sampling-rate space: player q absorbs r * d_q spare cycles.
+    double lo = 0.0;
+    double hi = 1.0;
+    auto total_at = [&](double r) {
+      double total = 0.0;
+      for (size_t q = 0; q < n; ++q) {
+        if (active[q]) {
+          const double full =
+              q < config.full_demand.size() ? config.full_demand[q] : config.capacity * 1e6;
+          total += std::min(cap[q], r * full);
+        }
+      }
+      return total;
+    };
+    if (total_at(1.0) <= spare) {
+      for (size_t q = 0; q < n; ++q) {
+        share[q] = active[q] ? cap[q] : 0.0;
+      }
+      return share;
+    }
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (total_at(mid) > spare) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    for (size_t q = 0; q < n; ++q) {
+      if (active[q]) {
+        const double full =
+            q < config.full_demand.size() ? config.full_demand[q] : config.capacity * 1e6;
+        share[q] = std::min(cap[q], lo * full);
+      }
+    }
+    return share;
+  }
+
+  // CPU water-filling with caps.
+  double cap_sum = 0.0;
+  double cap_max = 0.0;
+  for (size_t q = 0; q < n; ++q) {
+    if (active[q]) {
+      cap_sum += cap[q];
+      cap_max = std::max(cap_max, cap[q]);
+    }
+  }
+  if (cap_sum <= spare) {
+    for (size_t q = 0; q < n; ++q) {
+      share[q] = active[q] ? cap[q] : 0.0;
+    }
+    return share;
+  }
+  double lo = 0.0;
+  double hi = cap_max;
+  auto total_at = [&](double level) {
+    double total = 0.0;
+    for (size_t q = 0; q < n; ++q) {
+      if (active[q]) {
+        total += std::min(cap[q], level);
+      }
+    }
+    return total;
+  };
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (total_at(mid) > spare) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  for (size_t q = 0; q < n; ++q) {
+    if (active[q]) {
+      share[q] = std::min(cap[q], lo);
+    }
+  }
+  return share;
+}
+
+}  // namespace
+
+std::vector<double> AllPayoffs(const GameConfig& config, const std::vector<double>& actions) {
+  const size_t n = actions.size();
+  const std::vector<bool> active = ActiveSet(actions, config.capacity);
+  double committed = 0.0;
+  for (size_t q = 0; q < n; ++q) {
+    if (active[q]) {
+      committed += actions[q];
+    }
+  }
+  const std::vector<double> spare =
+      ShareSpare(config, actions, active, config.capacity - committed);
+  std::vector<double> payoff(n, 0.0);
+  for (size_t q = 0; q < n; ++q) {
+    payoff[q] = active[q] ? actions[q] + spare[q] : 0.0;
+  }
+  return payoff;
+}
+
+double Payoff(const GameConfig& config, const std::vector<double>& actions, size_t player) {
+  return AllPayoffs(config, actions)[player];
+}
+
+double BestResponse(const GameConfig& config, const std::vector<double>& actions, size_t player,
+                    size_t grid) {
+  std::vector<double> trial = actions;
+  double best_action = actions[player];
+  double best_payoff = -1.0;
+  for (size_t g = 0; g < grid; ++g) {
+    const double a = config.capacity * static_cast<double>(g) / static_cast<double>(grid - 1);
+    trial[player] = a;
+    const double u = Payoff(config, trial, player);
+    if (u > best_payoff + kEps) {
+      best_payoff = u;
+      best_action = a;
+    }
+  }
+  return best_action;
+}
+
+bool IsNashEquilibrium(const GameConfig& config, const std::vector<double>& actions, size_t grid,
+                       double tol) {
+  std::vector<double> trial = actions;
+  for (size_t q = 0; q < actions.size(); ++q) {
+    const double current = Payoff(config, actions, q);
+    for (size_t g = 0; g < grid; ++g) {
+      const double a = config.capacity * static_cast<double>(g) / static_cast<double>(grid - 1);
+      trial[q] = a;
+      if (Payoff(config, trial, q) > current + tol) {
+        return false;
+      }
+    }
+    trial[q] = actions[q];
+  }
+  return true;
+}
+
+std::vector<double> BestResponseDynamics(const GameConfig& config, std::vector<double> actions,
+                                         size_t rounds, size_t grid) {
+  for (size_t r = 0; r < rounds; ++r) {
+    bool changed = false;
+    for (size_t q = 0; q < actions.size(); ++q) {
+      const double best = BestResponse(config, actions, q, grid);
+      if (std::abs(best - actions[q]) > 1e-9) {
+        actions[q] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return actions;
+}
+
+double LightAccuracy(double rate) {
+  return rate > 0.0 ? 1.0 - (1.0 - rate) * 0.05 : 0.0;
+}
+
+double HeavyAccuracy(double rate) { return std::clamp(rate, 0.0, 1.0); }
+
+MmfsSimPoint SimulateLightHeavy(double min_rate, double overload, size_t n_light,
+                                double heavy_cost_ratio) {
+  // Demands: n_light light queries of unit cost, one heavy query of
+  // heavy_cost_ratio. Capacity scales with (1 - K).
+  const size_t n = n_light + 1;
+  std::vector<shed::QueryDemand> demands(n);
+  double total = 0.0;
+  for (size_t q = 0; q < n_light; ++q) {
+    demands[q].predicted_cycles = 1.0;
+    demands[q].min_sampling_rate = min_rate;
+    total += 1.0;
+  }
+  demands[n_light].predicted_cycles = heavy_cost_ratio;
+  demands[n_light].min_sampling_rate = min_rate;
+  total += heavy_cost_ratio;
+  const double capacity = (1.0 - overload) * total;
+
+  MmfsSimPoint point;
+  const auto eval = [&](shed::StrategyKind kind, double& avg, double& min_acc) {
+    const auto strategy = shed::MakeStrategy(kind);
+    const shed::Allocation alloc = strategy->Allocate(demands, capacity);
+    double sum = 0.0;
+    min_acc = 1.0;
+    for (size_t q = 0; q < n; ++q) {
+      const double rate = alloc.disabled[q] ? 0.0 : alloc.rate[q];
+      const double acc = q < n_light ? LightAccuracy(rate) : HeavyAccuracy(rate);
+      sum += acc;
+      min_acc = std::min(min_acc, acc);
+    }
+    avg = sum / static_cast<double>(n);
+  };
+  eval(shed::StrategyKind::kMmfsCpu, point.avg_accuracy_cpu, point.min_accuracy_cpu);
+  eval(shed::StrategyKind::kMmfsPkt, point.avg_accuracy_pkt, point.min_accuracy_pkt);
+  return point;
+}
+
+}  // namespace shedmon::game

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/shed/strategy.h"
+
+namespace shedmon::game {
+
+// Strategic game of §5.3: each query (player) declares a minimum cycle
+// demand a_q = m_q * d_q; the system satisfies the smallest demands first,
+// disabling the largest ones when capacity is exceeded, and shares spare
+// capacity max-min fairly among the surviving queries.
+struct GameConfig {
+  double capacity = 1.0;
+  // Full demand d_q per player: the upper bound on what spare allocation a
+  // player can absorb. Use a large value to reproduce the unbounded game of
+  // the thesis's Nash-equilibrium analysis.
+  std::vector<double> full_demand;
+  shed::StrategyKind share = shed::StrategyKind::kMmfsCpu;
+};
+
+// Payoff u_q(a) per eq. (5.7): allocated cycles, or 0 if the player's
+// minimum demand cannot be satisfied.
+double Payoff(const GameConfig& config, const std::vector<double>& actions, size_t player);
+std::vector<double> AllPayoffs(const GameConfig& config, const std::vector<double>& actions);
+
+// Best response of `player` to the others' actions, by grid search over
+// [0, capacity] with `grid` points.
+double BestResponse(const GameConfig& config, const std::vector<double>& actions, size_t player,
+                    size_t grid = 2001);
+
+// True if no player can improve by more than `tol` with any grid deviation.
+bool IsNashEquilibrium(const GameConfig& config, const std::vector<double>& actions,
+                       size_t grid = 2001, double tol = 1e-9);
+
+// Iterated best-response dynamics from a starting profile; returns the final
+// profile (converges to C/|Q| for this game).
+std::vector<double> BestResponseDynamics(const GameConfig& config, std::vector<double> actions,
+                                         size_t rounds = 64, size_t grid = 2001);
+
+// ---------------------------------------------------------------------------
+// Simulation of Fig. 5.1: 1 heavy + n light queries under mmfs_cpu vs
+// mmfs_pkt. Accuracy functions follow §5.4: the light query behaves like
+// `counter` (accuracy 1 - (1 - p) * 0.05 when sampled, 0 when disabled) and
+// the heavy query like `trace` (accuracy = sampling rate).
+// ---------------------------------------------------------------------------
+struct MmfsSimPoint {
+  double avg_accuracy_cpu = 0.0;
+  double min_accuracy_cpu = 0.0;
+  double avg_accuracy_pkt = 0.0;
+  double min_accuracy_pkt = 0.0;
+
+  double avg_diff() const { return avg_accuracy_pkt - avg_accuracy_cpu; }
+  double min_diff() const { return min_accuracy_pkt - min_accuracy_cpu; }
+};
+
+// `min_rate` = m_q (same for all queries), `overload` = K in [0, 1]:
+// capacity = (1 - K) * total demand.
+MmfsSimPoint SimulateLightHeavy(double min_rate, double overload, size_t n_light = 10,
+                                double heavy_cost_ratio = 10.0);
+
+double LightAccuracy(double rate);
+double HeavyAccuracy(double rate);
+
+}  // namespace shedmon::game

@@ -1,0 +1,56 @@
+#include "src/net/packet.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/rng.h"
+
+namespace shedmon::net {
+
+std::string_view AppClassName(AppClass app) {
+  switch (app) {
+    case AppClass::kWeb:
+      return "web";
+    case AppClass::kDns:
+      return "dns";
+    case AppClass::kMail:
+      return "mail";
+    case AppClass::kP2p:
+      return "p2p";
+    case AppClass::kStreaming:
+      return "streaming";
+    case AppClass::kSsh:
+      return "ssh";
+    case AppClass::kOther:
+      return "other";
+    case AppClass::kAttack:
+      return "attack";
+  }
+  return "unknown";
+}
+
+std::array<uint8_t, 13> FiveTuple::Bytes() const {
+  std::array<uint8_t, 13> out;
+  std::memcpy(out.data(), &src_ip, 4);
+  std::memcpy(out.data() + 4, &dst_ip, 4);
+  std::memcpy(out.data() + 8, &src_port, 2);
+  std::memcpy(out.data() + 10, &dst_port, 2);
+  out[12] = proto;
+  return out;
+}
+
+size_t FiveTupleHash::operator()(const FiveTuple& t) const {
+  uint64_t a = (static_cast<uint64_t>(t.src_ip) << 32) | t.dst_ip;
+  uint64_t b = (static_cast<uint64_t>(t.src_port) << 24) |
+               (static_cast<uint64_t>(t.dst_port) << 8) | t.proto;
+  return static_cast<size_t>(util::HashU64(a ^ util::HashU64(b)));
+}
+
+std::string Ipv4ToString(uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace shedmon::net

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace shedmon::net {
+
+// IP protocol numbers used by the generator and queries.
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+inline constexpr uint8_t kProtoIcmp = 1;
+
+// TCP flag bits carried in PacketRecord::tcp_flags.
+inline constexpr uint8_t kTcpSyn = 0x02;
+inline constexpr uint8_t kTcpAck = 0x10;
+inline constexpr uint8_t kTcpFin = 0x01;
+
+// Application class a flow belongs to; drives port selection, packet sizes and
+// payload content in the generator, and ground truth for the p2p-detector.
+enum class AppClass : uint8_t {
+  kWeb = 0,
+  kDns,
+  kMail,
+  kP2p,
+  kStreaming,
+  kSsh,
+  kOther,
+  kAttack,  // injected anomaly traffic
+};
+inline constexpr int kNumAppClasses = 8;
+std::string_view AppClassName(AppClass app);
+
+// Payload content family, used to deterministically materialize payload bytes
+// per packet (signatures for pattern-search / p2p-detector live here).
+enum class PayloadClass : uint8_t {
+  kNone = 0,      // header-only trace
+  kRandom,        // uniform bytes
+  kHttpRequest,   // starts with "GET /... HTTP/1.1"
+  kBittorrent,    // starts with the BitTorrent handshake signature
+  kGnutella,      // starts with "GNUTELLA CONNECT"
+  kEdonkey,       // starts with the eDonkey magic byte 0xe3
+};
+
+// Classic 5-tuple flow key.
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 0;
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  // Canonical 13-byte serialization, the hash key for sketches and samplers.
+  std::array<uint8_t, 13> Bytes() const;
+};
+
+struct FiveTupleHash {
+  size_t operator()(const FiveTuple& t) const;
+};
+
+// One captured packet. Payload bytes are not stored in the trace; they are
+// materialized deterministically from (payload_seed, payload_class) when a
+// batch is built, which keeps multi-minute traces small in memory.
+struct PacketRecord {
+  uint64_t ts_us = 0;  // timestamp, microseconds since trace start
+  FiveTuple tuple;
+  uint16_t wire_len = 0;     // bytes on the wire (IP length)
+  uint16_t payload_len = 0;  // L4 payload bytes (0 for header-only traces)
+  uint8_t tcp_flags = 0;
+  AppClass app = AppClass::kOther;        // ground truth, never read by queries
+  PayloadClass payload_class = PayloadClass::kNone;
+  uint32_t payload_seed = 0;
+};
+
+// A packet as seen by queries: the record plus materialized payload bytes
+// (possibly empty) owned by the enclosing Batch arena.
+struct Packet {
+  const PacketRecord* rec = nullptr;
+  const uint8_t* payload = nullptr;
+  uint16_t payload_len = 0;
+
+  const FiveTuple& tuple() const { return rec->tuple; }
+  uint64_t ts_us() const { return rec->ts_us; }
+  uint16_t wire_len() const { return rec->wire_len; }
+};
+
+// Dotted-quad helper for reports.
+std::string Ipv4ToString(uint32_t ip);
+
+}  // namespace shedmon::net

@@ -1,0 +1,81 @@
+#include "src/predict/fcbf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace shedmon::predict {
+
+namespace {
+std::vector<double> Column(const Matrix& x, size_t c) {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out[r] = x.At(r, c);
+  }
+  return out;
+}
+}  // namespace
+
+FcbfResult SelectFeatures(const Matrix& x, const std::vector<double>& y, double threshold) {
+  FcbfResult result;
+  const size_t p = x.cols();
+  result.relevance.assign(p, 0.0);
+  if (p == 0 || x.rows() < 2) {
+    return result;
+  }
+
+  std::vector<std::vector<double>> cols(p);
+  for (size_t c = 0; c < p; ++c) {
+    cols[c] = Column(x, c);
+    result.relevance[c] = std::abs(util::PearsonCorrelation(cols[c], y));
+  }
+
+  // Phase 1: relevance filtering, ranked by decreasing |corr(X_i, y)|.
+  std::vector<int> ranked;
+  for (size_t c = 0; c < p; ++c) {
+    if (result.relevance[c] >= threshold && result.relevance[c] > 0.0) {
+      ranked.push_back(static_cast<int>(c));
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    return result.relevance[static_cast<size_t>(a)] > result.relevance[static_cast<size_t>(b)];
+  });
+
+  if (ranked.empty()) {
+    // Fall back to the best single predictor so MLR degrades to SLR rather
+    // than to an intercept-only model.
+    const auto best = std::max_element(result.relevance.begin(), result.relevance.end());
+    if (*best > 0.0) {
+      result.selected.push_back(static_cast<int>(best - result.relevance.begin()));
+    }
+    return result;
+  }
+
+  // Phase 2: redundancy elimination.
+  std::vector<bool> removed(ranked.size(), false);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (removed[i]) {
+      continue;
+    }
+    const auto fi = static_cast<size_t>(ranked[i]);
+    for (size_t j = i + 1; j < ranked.size(); ++j) {
+      if (removed[j]) {
+        continue;
+      }
+      const auto fj = static_cast<size_t>(ranked[j]);
+      const double between = std::abs(util::PearsonCorrelation(cols[fi], cols[fj]));
+      if (between >= result.relevance[fj]) {
+        removed[j] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (!removed[i]) {
+      result.selected.push_back(ranked[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace shedmon::predict

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/features/features.h"
+#include "src/predict/fcbf.h"
+
+namespace shedmon::predict {
+
+// Predicts the CPU cycles a query will need for a batch with the given
+// feature vector, learning online from (features, measured cycles) pairs.
+class CostPredictor {
+ public:
+  virtual ~CostPredictor() = default;
+
+  virtual double Predict(const features::FeatureVector& f) = 0;
+  virtual void Observe(const features::FeatureVector& f, double cycles) = 0;
+  virtual std::string_view name() const = 0;
+  // Number of observations currently backing the model (0 = cold).
+  virtual size_t history_size() const = 0;
+};
+
+// §3.4.1: exponentially weighted moving average of past cycle usage. Blind to
+// the input traffic, so it trails every workload change.
+class EwmaPredictor : public CostPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.3);
+
+  double Predict(const features::FeatureVector& f) override;
+  void Observe(const features::FeatureVector& f, double cycles) override;
+  std::string_view name() const override { return "ewma"; }
+  size_t history_size() const override { return count_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+  size_t count_ = 0;
+};
+
+// §3.4.1: simple linear regression on one fixed feature (packets by default,
+// the best single predictor for most queries in Table 3.2).
+class SlrPredictor : public CostPredictor {
+ public:
+  explicit SlrPredictor(int feature_index = features::kFeatPackets, size_t history = 60);
+
+  double Predict(const features::FeatureVector& f) override;
+  void Observe(const features::FeatureVector& f, double cycles) override;
+  std::string_view name() const override { return "slr"; }
+  size_t history_size() const override { return window_.size(); }
+
+ private:
+  int feature_;
+  size_t history_;
+  std::deque<std::pair<double, double>> window_;  // (x, y)
+};
+
+// §3.2.2-3.2.3: FCBF feature selection + multiple linear regression with an
+// intercept over a sliding window of n batches, refit on every observation.
+class MlrPredictor : public CostPredictor {
+ public:
+  struct Config {
+    size_t history = 60;          // n observations (6 s of 100 ms batches)
+    double fcbf_threshold = 0.6;  // relevance cutoff (Fig. 3.5 sweet spot)
+    // Relative singular-value cutoff of the (standardized) design matrix.
+    // Traffic features are strongly collinear (e.g. packets vs repeated
+    // counts); truncating weak directions keeps the out-of-sample variance
+    // bounded — the multicollinearity concern of §3.2.3 handled numerically.
+    double svd_rcond = 1e-3;
+    size_t min_history = 5;  // below this, fall back to mean cost
+    // §3.2.4-style measurement scrubbing: an observation that deviates from
+    // the model's own prediction *at the same features* by more than this
+    // factor is treated as corrupted (context switch, bus contention) and
+    // replaced by the prediction. 0 disables scrubbing.
+    double scrub_factor = 8.0;
+  };
+
+  MlrPredictor();
+  explicit MlrPredictor(const Config& config);
+
+  double Predict(const features::FeatureVector& f) override;
+  void Observe(const features::FeatureVector& f, double cycles) override;
+  std::string_view name() const override { return "mlr+fcbf"; }
+  size_t history_size() const override { return window_.size(); }
+
+  // Features used by the most recent fit (after FCBF), for Table 3.2.
+  const std::vector<int>& last_selected() const { return last_selected_; }
+  // How often each feature has been selected across the run.
+  const std::map<int, size_t>& selection_counts() const { return selection_counts_; }
+
+  // Replaces the most recent observation's response value; the system uses
+  // this to scrub context-switch-corrupted measurements (§3.2.4).
+  void AmendLastObservation(double cycles);
+
+ private:
+  void Refit();
+
+  Config config_;
+  std::deque<std::pair<features::FeatureVector, double>> window_;
+  std::vector<int> last_selected_;
+  std::vector<double> coef_;      // intercept followed by per-selected weights
+  std::vector<double> col_mean_;  // standardization of the selected columns
+  std::vector<double> col_scale_;
+  int consecutive_outliers_ = 0;
+  bool model_valid_ = false;
+  std::map<int, size_t> selection_counts_;
+};
+
+enum class PredictorKind { kMlr, kSlr, kEwma };
+
+struct PredictorConfig {
+  PredictorKind kind = PredictorKind::kMlr;
+  size_t history = 60;
+  double fcbf_threshold = 0.6;
+  double ewma_alpha = 0.3;
+  int slr_feature = features::kFeatPackets;
+};
+
+std::unique_ptr<CostPredictor> MakePredictor(const PredictorConfig& config);
+
+}  // namespace shedmon::predict

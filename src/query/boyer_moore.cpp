@@ -1,0 +1,84 @@
+#include "src/query/boyer_moore.h"
+
+#include <stdexcept>
+
+namespace shedmon::query {
+
+BoyerMoore::BoyerMoore(std::string pattern) : pattern_(std::move(pattern)) {
+  if (pattern_.empty()) {
+    throw std::invalid_argument("BoyerMoore: empty pattern");
+  }
+  const size_t m = pattern_.size();
+
+  // Bad-character rule: shift so the mismatching text byte aligns with its
+  // rightmost occurrence in the pattern.
+  bad_char_.fill(m);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    bad_char_[static_cast<uint8_t>(pattern_[i])] = m - 1 - i;
+  }
+
+  // Good-suffix rule (standard two-pass construction over pattern borders).
+  good_suffix_.assign(m + 1, m);
+  std::vector<size_t> border(m + 1, 0);
+  size_t i = m;
+  size_t j = m + 1;
+  border[i] = j;
+  while (i > 0) {
+    while (j <= m && pattern_[i - 1] != pattern_[j - 1]) {
+      if (good_suffix_[j] == m) {
+        good_suffix_[j] = j - i;
+      }
+      j = border[j];
+    }
+    --i;
+    --j;
+    border[i] = j;
+  }
+  j = border[0];
+  for (i = 0; i <= m; ++i) {
+    if (good_suffix_[i] == m) {
+      good_suffix_[i] = j;
+    }
+    if (i == j) {
+      j = border[j];
+    }
+  }
+}
+
+size_t BoyerMoore::Find(const uint8_t* text, size_t len) const {
+  const size_t m = pattern_.size();
+  if (len < m) {
+    return kNpos;
+  }
+  size_t s = 0;
+  while (s <= len - m) {
+    size_t j = m;
+    while (j > 0 && static_cast<uint8_t>(pattern_[j - 1]) == text[s + j - 1]) {
+      --j;
+    }
+    if (j == 0) {
+      return s;
+    }
+    const size_t bc = bad_char_[text[s + j - 1]];
+    const size_t gs = good_suffix_[j];
+    const size_t bc_shift = bc > (m - j) ? bc - (m - j) : 1;
+    s += std::max(gs, bc_shift);
+  }
+  return kNpos;
+}
+
+size_t BoyerMoore::CountOccurrences(const uint8_t* text, size_t len) const {
+  size_t count = 0;
+  size_t offset = 0;
+  while (offset < len) {
+    const size_t pos = Find(text + offset, len - offset);
+    if (pos == kNpos) {
+      break;
+    }
+    ++count;
+    offset += pos + 1;
+  }
+  return count;
+}
+
+}  // namespace shedmon::query

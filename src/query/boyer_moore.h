@@ -1,0 +1,36 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shedmon::query {
+
+// Boyer-Moore exact string search (bad-character + good-suffix rules), the
+// algorithm the pattern-search and p2p-detector queries use in the thesis
+// ([23] in its bibliography). Cost is linear in the scanned bytes, which is
+// exactly the property that makes those queries' CPU usage track the byte
+// count feature (Table 3.2).
+class BoyerMoore {
+ public:
+  explicit BoyerMoore(std::string pattern);
+
+  // Byte offset of the first occurrence, or npos.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t Find(const uint8_t* text, size_t len) const;
+  bool Contains(const uint8_t* text, size_t len) const { return Find(text, len) != kNpos; }
+
+  // Number of (possibly overlapping) occurrences.
+  size_t CountOccurrences(const uint8_t* text, size_t len) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+  std::array<size_t, 256> bad_char_;
+  std::vector<size_t> good_suffix_;
+};
+
+}  // namespace shedmon::query

@@ -1,0 +1,42 @@
+#include "src/shed/enforcement.h"
+
+#include <algorithm>
+
+namespace shedmon::shed {
+
+EnforcementPolicy::EnforcementPolicy(const EnforcementConfig& config)
+    : config_(config), usage_ratio_(config.ewma_alpha, 1.0) {}
+
+void EnforcementPolicy::Observe(double granted, double used) {
+  if (granted <= 0.0) {
+    return;
+  }
+  const double ratio = used / granted;
+  usage_ratio_.Update(ratio);
+  if (ratio > config_.gross_violation_factor) {
+    ++strikes_;
+    if (strikes_ >= config_.strikes_to_disable) {
+      penalty_left_ = config_.penalty_bins;
+      strikes_ = 0;
+      ++times_policed_;
+    }
+  } else {
+    strikes_ = 0;
+  }
+}
+
+double EnforcementPolicy::correction() const {
+  const double ratio = usage_ratio_.value();
+  if (ratio <= 1.0 + config_.over_tolerance) {
+    return 1.0;
+  }
+  return ratio;
+}
+
+void EnforcementPolicy::Tick() {
+  if (penalty_left_ > 0) {
+    --penalty_left_;
+  }
+}
+
+}  // namespace shedmon::shed

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/util/ewma.h"
+
+namespace shedmon::shed {
+
+// Parameters of the custom-load-shedding enforcement policy (§6.1.1).
+struct EnforcementConfig {
+  double ewma_alpha = 0.9;
+  // Overuse tolerated before correction scales the query's demand.
+  double over_tolerance = 0.10;
+  // A bin counts as a gross violation when used > factor * granted. The
+  // default leaves room for the transient overshoot an honest custom method
+  // shows at interval boundaries (its per-flow state is cold there).
+  double gross_violation_factor = 2.0;
+  // Consecutive gross violations before the query is policed (disabled).
+  int strikes_to_disable = 5;
+  // Bins a policed query stays disabled.
+  int penalty_bins = 50;
+};
+
+// Tracks one query's actual vs. granted resource consumption. Two outputs:
+//  - a multiplicative correction factor the system applies to the query's
+//    future demand (Fig. 6.3: "actual versus expected consumption ... before
+//    correction"), so persistent moderate overuse costs the query its own
+//    sampling rate rather than its neighbours' cycles; and
+//  - a policing decision: queries whose usage grossly ignores the granted
+//    budget for several consecutive bins are disabled for a penalty period
+//    (selfish/buggy queries, §6.3.4-6.3.5).
+class EnforcementPolicy {
+ public:
+  explicit EnforcementPolicy(const EnforcementConfig& config = EnforcementConfig());
+
+  // Records one bin. `granted` is the cycle budget implied by the allocation
+  // (rate * predicted demand); `used` is the measured consumption.
+  void Observe(double granted, double used);
+
+  // Demand multiplier (>= 1) the system applies before allocating.
+  double correction() const;
+
+  // True while the query is serving a penalty; Tick() advances the clock.
+  bool InPenalty() const { return penalty_left_ > 0; }
+  void Tick();
+
+  int strikes() const { return strikes_; }
+  size_t times_policed() const { return times_policed_; }
+
+ private:
+  EnforcementConfig config_;
+  util::Ewma usage_ratio_;
+  int strikes_ = 0;
+  int penalty_left_ = 0;
+  size_t times_policed_ = 0;
+};
+
+}  // namespace shedmon::shed

@@ -1,0 +1,44 @@
+#include "src/shed/sampler.h"
+
+namespace shedmon::shed {
+
+trace::PacketVec PacketSampler::Sample(const trace::PacketVec& in, double rate) {
+  if (rate >= 1.0) {
+    return in;
+  }
+  trace::PacketVec out;
+  if (rate <= 0.0) {
+    return out;
+  }
+  out.reserve(static_cast<size_t>(static_cast<double>(in.size()) * rate * 1.2) + 8);
+  for (const net::Packet& pkt : in) {
+    if (rng_.NextDouble() < rate) {
+      out.push_back(pkt);
+    }
+  }
+  return out;
+}
+
+FlowSampler::FlowSampler(uint64_t seed) : hash_(seed) {}
+
+void FlowSampler::Reseed(uint64_t seed) { hash_ = sketch::H3Hash(seed); }
+
+trace::PacketVec FlowSampler::Sample(const trace::PacketVec& in, double rate) const {
+  if (rate >= 1.0) {
+    return in;
+  }
+  trace::PacketVec out;
+  if (rate <= 0.0) {
+    return out;
+  }
+  out.reserve(static_cast<size_t>(static_cast<double>(in.size()) * rate * 1.2) + 8);
+  for (const net::Packet& pkt : in) {
+    const auto key = pkt.rec->tuple.Bytes();
+    if (hash_.HashUnit(key.data(), key.size()) < rate) {
+      out.push_back(pkt);
+    }
+  }
+  return out;
+}
+
+}  // namespace shedmon::shed

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/sketch/h3.h"
+#include "src/trace/batch.h"
+#include "src/util/rng.h"
+
+namespace shedmon::shed {
+
+// Uniform random packet sampling (§4.2): each packet of the batch is kept
+// independently with probability `rate`.
+class PacketSampler {
+ public:
+  explicit PacketSampler(uint64_t seed) : rng_(seed) {}
+
+  trace::PacketVec Sample(const trace::PacketVec& in, double rate);
+
+ private:
+  util::Rng rng_;
+};
+
+// Flowwise sampling ([43] + §4.2): a packet is kept iff the H3 hash of its
+// 5-tuple falls below the sampling rate, so entire flows are kept or dropped
+// coherently without caching flow keys. The hash function is redrawn every
+// measurement interval to avoid bias and deliberate evasion.
+class FlowSampler {
+ public:
+  explicit FlowSampler(uint64_t seed);
+
+  void Reseed(uint64_t seed);
+
+  trace::PacketVec Sample(const trace::PacketVec& in, double rate) const;
+
+ private:
+  sketch::H3Hash hash_;
+};
+
+}  // namespace shedmon::shed

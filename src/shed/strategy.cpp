@@ -1,0 +1,225 @@
+#include "src/shed/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace shedmon::shed {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+double Allocation::TotalCycles(const std::vector<QueryDemand>& demands) const {
+  double total = 0.0;
+  for (size_t q = 0; q < demands.size() && q < rate.size(); ++q) {
+    total += rate[q] * demands[q].predicted_cycles;
+  }
+  return total;
+}
+
+std::vector<bool> DisableLargestMinDemands(const std::vector<QueryDemand>& demands,
+                                           double capacity) {
+  const size_t n = demands.size();
+  std::vector<bool> disabled(n, false);
+  double min_total = 0.0;
+  for (const auto& d : demands) {
+    min_total += d.min_sampling_rate * d.predicted_cycles;
+  }
+  while (min_total > capacity + kEps) {
+    // Disable the active query with the largest minimum demand.
+    size_t worst = n;
+    double worst_demand = -1.0;
+    for (size_t q = 0; q < n; ++q) {
+      if (disabled[q]) {
+        continue;
+      }
+      const double min_demand = demands[q].min_sampling_rate * demands[q].predicted_cycles;
+      if (min_demand > worst_demand) {
+        worst_demand = min_demand;
+        worst = q;
+      }
+    }
+    if (worst == n || worst_demand <= 0.0) {
+      break;  // Nothing left to disable (all remaining have zero floors).
+    }
+    disabled[worst] = true;
+    min_total -= worst_demand;
+  }
+  return disabled;
+}
+
+Allocation EqSratesStrategy::Allocate(const std::vector<QueryDemand>& demands,
+                                      double capacity) const {
+  const size_t n = demands.size();
+  Allocation alloc;
+  alloc.rate.assign(n, 0.0);
+  alloc.disabled.assign(n, false);
+
+  // Iterate: compute the single common rate; disable queries whose minimum
+  // exceeds it; recompute over the survivors (§5.5.3).
+  while (true) {
+    double total = 0.0;
+    for (size_t q = 0; q < n; ++q) {
+      if (!alloc.disabled[q]) {
+        total += demands[q].predicted_cycles;
+      }
+    }
+    if (total <= kEps) {
+      break;
+    }
+    const double rate = std::clamp(capacity / total, 0.0, 1.0);
+    // Find the unsatisfiable query with the largest floor.
+    size_t worst = n;
+    double worst_floor = rate;
+    for (size_t q = 0; q < n; ++q) {
+      if (!alloc.disabled[q] && demands[q].min_sampling_rate > worst_floor + kEps) {
+        worst_floor = demands[q].min_sampling_rate;
+        worst = q;
+      }
+    }
+    if (worst == n) {
+      for (size_t q = 0; q < n; ++q) {
+        alloc.rate[q] = alloc.disabled[q] ? 0.0 : rate;
+      }
+      return alloc;
+    }
+    alloc.disabled[worst] = true;
+  }
+  return alloc;
+}
+
+namespace {
+
+// Water-filling by bisection on the level L: each active query receives
+// clamp(L, lo_q, hi_q); the level is chosen so the total matches the target.
+// Monotonicity in L makes bisection exact to machine precision, and the fixed
+// iteration count keeps the allocation cost deterministic (a requirement for
+// a per-batch decision, §5.1).
+std::vector<double> WaterFill(const std::vector<double>& lo, const std::vector<double>& hi,
+                              double target) {
+  const size_t n = lo.size();
+  double lo_sum = 0.0;
+  double hi_sum = 0.0;
+  double level_hi = 0.0;
+  for (size_t q = 0; q < n; ++q) {
+    lo_sum += lo[q];
+    hi_sum += hi[q];
+    level_hi = std::max(level_hi, hi[q]);
+  }
+  std::vector<double> out(n);
+  if (target >= hi_sum) {
+    return hi;
+  }
+  if (target <= lo_sum) {
+    return lo;
+  }
+  double a = 0.0;
+  double b = level_hi;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (a + b);
+    double total = 0.0;
+    for (size_t q = 0; q < n; ++q) {
+      total += std::clamp(mid, lo[q], hi[q]);
+    }
+    if (total > target) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  const double level = 0.5 * (a + b);
+  for (size_t q = 0; q < n; ++q) {
+    out[q] = std::clamp(level, lo[q], hi[q]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Allocation MmfsCpuStrategy::Allocate(const std::vector<QueryDemand>& demands,
+                                     double capacity) const {
+  const size_t n = demands.size();
+  Allocation alloc;
+  alloc.rate.assign(n, 0.0);
+  alloc.disabled = DisableLargestMinDemands(demands, capacity);
+
+  // Active queries: water-fill allocated cycles in [m_q d_q, d_q].
+  std::vector<size_t> active;
+  std::vector<double> lo, hi;
+  for (size_t q = 0; q < n; ++q) {
+    if (alloc.disabled[q] || demands[q].predicted_cycles <= kEps) {
+      continue;
+    }
+    active.push_back(q);
+    lo.push_back(demands[q].min_sampling_rate * demands[q].predicted_cycles);
+    hi.push_back(demands[q].predicted_cycles);
+  }
+  const std::vector<double> cycles = WaterFill(lo, hi, capacity);
+  for (size_t i = 0; i < active.size(); ++i) {
+    const size_t q = active[i];
+    alloc.rate[q] = std::clamp(cycles[i] / demands[q].predicted_cycles, 0.0, 1.0);
+  }
+  return alloc;
+}
+
+Allocation MmfsPktStrategy::Allocate(const std::vector<QueryDemand>& demands,
+                                     double capacity) const {
+  const size_t n = demands.size();
+  Allocation alloc;
+  alloc.rate.assign(n, 0.0);
+  alloc.disabled = DisableLargestMinDemands(demands, capacity);
+
+  // Bisection on the common sampling-rate level r: query q receives
+  // clamp(r, m_q, 1) and consumes that fraction of its demand. This is the
+  // fixed point the iterative algorithm of §5.2.3 converges to.
+  std::vector<size_t> active;
+  for (size_t q = 0; q < n; ++q) {
+    if (!alloc.disabled[q] && demands[q].predicted_cycles > kEps) {
+      active.push_back(q);
+    }
+  }
+  if (active.empty()) {
+    return alloc;
+  }
+  auto total_at = [&](double r) {
+    double total = 0.0;
+    for (const size_t q : active) {
+      total += std::clamp(r, demands[q].min_sampling_rate, 1.0) *
+               demands[q].predicted_cycles;
+    }
+    return total;
+  };
+  double rate = 1.0;
+  if (total_at(1.0) > capacity) {
+    double a = 0.0;
+    double b = 1.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (a + b);
+      if (total_at(mid) > capacity) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    rate = a;
+  }
+  for (const size_t q : active) {
+    alloc.rate[q] = std::clamp(rate, demands[q].min_sampling_rate, 1.0);
+  }
+  return alloc;
+}
+
+std::unique_ptr<ShedStrategy> MakeStrategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kEqSrates:
+      return std::make_unique<EqSratesStrategy>();
+    case StrategyKind::kMmfsCpu:
+      return std::make_unique<MmfsCpuStrategy>();
+    case StrategyKind::kMmfsPkt:
+      return std::make_unique<MmfsPktStrategy>();
+  }
+  return nullptr;
+}
+
+}  // namespace shedmon::shed

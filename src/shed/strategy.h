@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace shedmon::shed {
+
+// Per-query inputs to the allocation decision.
+struct QueryDemand {
+  // Predicted cycles to process the full batch (d_hat_q), already inflated by
+  // the prediction-error safety margin where applicable.
+  double predicted_cycles = 0.0;
+  // Minimum sampling rate the query tolerates (m_q, Ch. 5). 0 = no floor.
+  double min_sampling_rate = 0.0;
+};
+
+// Outcome: one sampling rate per query; disabled queries get rate 0.
+struct Allocation {
+  std::vector<double> rate;
+  std::vector<bool> disabled;
+
+  double TotalCycles(const std::vector<QueryDemand>& demands) const;
+};
+
+// A load shedding *strategy* (§2.4): decides where to shed — which sampling
+// rate each query receives — once the system has decided shedding is needed.
+class ShedStrategy {
+ public:
+  virtual ~ShedStrategy() = default;
+  virtual Allocation Allocate(const std::vector<QueryDemand>& demands,
+                              double capacity) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+// Ch. 4 baseline: one common sampling rate for every query. Queries whose
+// minimum rate exceeds the common rate are disabled for this batch and the
+// rate is recomputed over the remaining ones (§5.5.3, "eq_srates").
+class EqSratesStrategy : public ShedStrategy {
+ public:
+  Allocation Allocate(const std::vector<QueryDemand>& demands, double capacity) const override;
+  std::string_view name() const override { return "eq_srates"; }
+};
+
+// Max-min fair share of CPU cycles (§5.2.1): every query is guaranteed its
+// minimum demand m_q * d_q; spare cycles are water-filled so the smallest
+// allocations rise first, capped at each query's full demand.
+class MmfsCpuStrategy : public ShedStrategy {
+ public:
+  Allocation Allocate(const std::vector<QueryDemand>& demands, double capacity) const override;
+  std::string_view name() const override { return "mmfs_cpu"; }
+};
+
+// Max-min fair share of packet access (§5.2.2): the water level is a common
+// sampling rate; queries whose floors bind keep m_q, the rest share the rate
+// that exhausts capacity. Maximizes the *minimum* rate any query receives.
+class MmfsPktStrategy : public ShedStrategy {
+ public:
+  Allocation Allocate(const std::vector<QueryDemand>& demands, double capacity) const override;
+  std::string_view name() const override { return "mmfs_pkt"; }
+};
+
+enum class StrategyKind { kEqSrates, kMmfsCpu, kMmfsPkt };
+std::unique_ptr<ShedStrategy> MakeStrategy(StrategyKind kind);
+
+// Shared phase 1 (§5.2.3): while the summed minimum demands exceed capacity,
+// disable the query with the largest m_q * d_q (ties broken by index).
+// Returns the disabled mask.
+std::vector<bool> DisableLargestMinDemands(const std::vector<QueryDemand>& demands,
+                                           double capacity);
+
+}  // namespace shedmon::shed

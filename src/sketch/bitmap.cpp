@@ -1,0 +1,132 @@
+#include "src/sketch/bitmap.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace shedmon::sketch {
+
+DirectBitmap::DirectBitmap(uint32_t bits) : size_bits_(bits), mask_(bits - 1) {
+  if (bits == 0 || (bits & (bits - 1)) != 0) {
+    throw std::invalid_argument("DirectBitmap size must be a power of two");
+  }
+  words_.resize((bits + 63) / 64, 0);
+}
+
+void DirectBitmap::Insert(uint64_t hash) {
+  const uint32_t bit = static_cast<uint32_t>(hash) & mask_;
+  uint64_t& word = words_[bit >> 6];
+  const uint64_t m = 1ULL << (bit & 63);
+  if ((word & m) == 0) {
+    word |= m;
+    ++bits_set_;
+  }
+}
+
+bool DirectBitmap::Test(uint64_t hash) const {
+  const uint32_t bit = static_cast<uint32_t>(hash) & mask_;
+  return (words_[bit >> 6] & (1ULL << (bit & 63))) != 0;
+}
+
+double DirectBitmap::Estimate() const {
+  const uint32_t zeros = size_bits_ - bits_set_;
+  if (zeros == 0) {
+    // Saturated; return the (large) estimate for one remaining zero bit.
+    return static_cast<double>(size_bits_) * std::log(static_cast<double>(size_bits_));
+  }
+  return -static_cast<double>(size_bits_) *
+         std::log(static_cast<double>(zeros) / static_cast<double>(size_bits_));
+}
+
+void DirectBitmap::Clear() {
+  for (auto& w : words_) {
+    w = 0;
+  }
+  bits_set_ = 0;
+}
+
+void DirectBitmap::Union(const DirectBitmap& other) {
+  if (other.size_bits_ != size_bits_) {
+    throw std::invalid_argument("DirectBitmap::Union size mismatch");
+  }
+  bits_set_ = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+    bits_set_ += static_cast<uint32_t>(std::popcount(words_[i]));
+  }
+}
+
+MultiResBitmap::MultiResBitmap(uint32_t components, uint32_t component_bits) {
+  if (components < 2 || components > 30) {
+    throw std::invalid_argument("MultiResBitmap components out of range");
+  }
+  comps_.reserve(components);
+  for (uint32_t i = 0; i < components; ++i) {
+    comps_.emplace_back(component_bits);
+  }
+}
+
+uint32_t MultiResBitmap::ComponentFor(uint64_t hash) const {
+  // Leading ones of the top bits give a geometric component choice:
+  // P(component i) = 2^-(i+1), capped at the last component.
+  const uint32_t c = static_cast<uint32_t>(comps_.size());
+  const int ones = std::countl_one(hash);
+  const uint32_t comp = static_cast<uint32_t>(ones);
+  return comp < c - 1 ? comp : c - 1;
+}
+
+void MultiResBitmap::Insert(uint64_t hash) {
+  const uint32_t comp = ComponentFor(hash);
+  // Use low bits for the position inside the component; they are independent
+  // of the leading-ones pattern for any reasonable component count.
+  comps_[comp].Insert(hash);
+}
+
+double MultiResBitmap::Estimate() const {
+  const uint32_t c = static_cast<uint32_t>(comps_.size());
+  // First component whose occupancy is trustworthy.
+  uint32_t base = 0;
+  while (base + 1 < c &&
+         comps_[base].bits_set() >
+             static_cast<uint32_t>(kSetMaxFraction *
+                                   static_cast<double>(comps_[base].size_bits()))) {
+    ++base;
+  }
+  double estimate_sum = 0.0;
+  double probability_sum = 0.0;
+  for (uint32_t i = base; i < c; ++i) {
+    estimate_sum += comps_[i].Estimate();
+    const double p = (i < c - 1) ? std::ldexp(1.0, -static_cast<int>(i + 1))
+                                 : std::ldexp(1.0, -static_cast<int>(c - 1));
+    probability_sum += p;
+  }
+  if (probability_sum <= 0.0) {
+    return 0.0;
+  }
+  return estimate_sum / probability_sum;
+}
+
+void MultiResBitmap::Clear() {
+  for (auto& comp : comps_) {
+    comp.Clear();
+  }
+}
+
+void MultiResBitmap::Union(const MultiResBitmap& other) {
+  if (other.comps_.size() != comps_.size()) {
+    throw std::invalid_argument("MultiResBitmap::Union shape mismatch");
+  }
+  for (size_t i = 0; i < comps_.size(); ++i) {
+    comps_[i].Union(other.comps_[i]);
+  }
+}
+
+double MultiResBitmap::CountNew(const MultiResBitmap& other) const {
+  MultiResBitmap merged = *this;
+  merged.Union(other);
+  const double before = Estimate();
+  const double after = merged.Estimate();
+  return after > before ? after - before : 0.0;
+}
+
+}  // namespace shedmon::sketch

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace shedmon::sketch {
+
+// Plain bitmap with the linear-counting cardinality estimator
+// (Whang et al.): n_hat = -b * ln(z / b) with z the number of zero bits.
+class DirectBitmap {
+ public:
+  explicit DirectBitmap(uint32_t bits);
+
+  // Sets the bit addressed by the low log2(bits) hash bits.
+  void Insert(uint64_t hash);
+  bool Test(uint64_t hash) const;
+
+  double Estimate() const;
+  uint32_t bits_set() const { return bits_set_; }
+  uint32_t size_bits() const { return size_bits_; }
+  bool Saturated() const { return bits_set_ == size_bits_; }
+
+  void Clear();
+  // OR-merge; both bitmaps must have the same size.
+  void Union(const DirectBitmap& other);
+
+ private:
+  uint32_t size_bits_;
+  uint32_t mask_;
+  uint32_t bits_set_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+// Multi-resolution bitmap after Estan, Varghese and Fisk, the counting
+// structure the paper uses for all per-aggregate feature counters (§3.2.1).
+// A key's hash selects component i with probability 2^-(i+1) (the last
+// component absorbs the tail with probability 2^-(c-1)); within a component
+// the key sets one of b bits. Cardinality is estimated from the first
+// unsaturated component onward: the components partition the key space, so
+// the summed linear-counting estimates divided by the summed sampling
+// probabilities give an unbiased estimate with bounded memory.
+class MultiResBitmap {
+ public:
+  // `component_bits` must be a power of two. Defaults cover ~1% error up to
+  // millions of distinct keys in under 1 KB, matching the paper's sizing.
+  explicit MultiResBitmap(uint32_t components = 12, uint32_t component_bits = 512);
+
+  void Insert(uint64_t hash);
+  double Estimate() const;
+
+  void Clear();
+  void Union(const MultiResBitmap& other);
+
+  // Estimate of |this ∪ other| - |this|: how many keys of `other` are new
+  // with respect to this bitmap. Implemented with the bitwise-OR trick of
+  // §3.2.1 (the batch bitmap is OR-ed into the interval bitmap).
+  double CountNew(const MultiResBitmap& other) const;
+
+  uint32_t components() const { return static_cast<uint32_t>(comps_.size()); }
+
+ private:
+  // Occupancy threshold above which a component is considered saturated; the
+  // EVF paper's "setmax" knob.
+  static constexpr double kSetMaxFraction = 0.93;
+
+  uint32_t ComponentFor(uint64_t hash) const;
+
+  std::vector<DirectBitmap> comps_;
+};
+
+}  // namespace shedmon::sketch

@@ -1,0 +1,29 @@
+#include "src/sketch/h3.h"
+
+#include "src/util/rng.h"
+
+namespace shedmon::sketch {
+
+H3Hash::H3Hash(uint64_t seed) : seed_(seed) {
+  uint64_t state = seed ^ 0x5851f42d4c957f2dULL;
+  for (auto& row : table_) {
+    for (auto& word : row) {
+      word = util::SplitMix64(state);
+    }
+  }
+}
+
+uint64_t H3Hash::Hash(const uint8_t* key, size_t len) const {
+  uint64_t h = 0;
+  const size_t n = len < kMaxKeyBytes ? len : kMaxKeyBytes;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= table_[i][key[i]];
+  }
+  return h;
+}
+
+double H3Hash::HashUnit(const uint8_t* key, size_t len) const {
+  return static_cast<double>(Hash(key, len) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace shedmon::sketch

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace shedmon::sketch {
+
+// H3 universal hash family over byte strings (tabulation form): each input
+// byte position selects a random 64-bit word from a seeded table and the
+// words are XORed together. The paper draws a fresh H3 function per query and
+// measurement interval for flowwise sampling (§4.2) so that flow selection is
+// uniform and cannot be predicted or evaded.
+class H3Hash {
+ public:
+  static constexpr size_t kMaxKeyBytes = 16;
+
+  explicit H3Hash(uint64_t seed);
+
+  uint64_t Hash(const uint8_t* key, size_t len) const;
+
+  template <size_t N>
+  uint64_t Hash(const std::array<uint8_t, N>& key) const {
+    static_assert(N <= kMaxKeyBytes);
+    return Hash(key.data(), N);
+  }
+
+  // Hash mapped to [0, 1), for threshold-based sampling decisions.
+  double HashUnit(const uint8_t* key, size_t len) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  std::array<std::array<uint64_t, 256>, kMaxKeyBytes> table_;
+};
+
+}  // namespace shedmon::sketch

@@ -1,0 +1,102 @@
+#include "src/trace/anomaly.h"
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace shedmon::trace {
+
+namespace {
+
+using net::PacketRecord;
+
+// Emits packets at `pps` over [start, start+duration) applying an optional
+// on/off duty cycle, invoking `fill` to complete each record.
+template <typename Fill>
+std::vector<PacketRecord> EmitAttack(double start_s, double duration_s, double pps,
+                                     double on_off_period_s, util::Rng& rng, Fill fill) {
+  std::vector<PacketRecord> out;
+  out.reserve(static_cast<size_t>(pps * duration_s));
+  double t = start_s;
+  const double end = start_s + duration_s;
+  while (t < end) {
+    bool active = true;
+    if (on_off_period_s > 0.0) {
+      const double phase = std::fmod(t - start_s, 2.0 * on_off_period_s);
+      active = phase < on_off_period_s;
+    }
+    if (active) {
+      PacketRecord rec;
+      rec.ts_us = static_cast<uint64_t>(t * 1e6);
+      rec.app = net::AppClass::kAttack;
+      fill(rec, rng);
+      out.push_back(rec);
+    }
+    t += rng.NextExponential(pps);
+  }
+  return out;
+}
+
+}  // namespace
+
+void InjectDdos(Trace& trace, const DdosSpec& spec, uint64_t seed) {
+  util::Rng rng(seed);
+  auto pkts = EmitAttack(
+      spec.start_s, spec.duration_s, spec.pps, spec.on_off_period_s, rng,
+      [&spec](PacketRecord& rec, util::Rng& r) {
+        rec.tuple.dst_ip = spec.target_ip;
+        rec.tuple.dst_port = spec.dst_port;
+        if (spec.spoofed_sources) {
+          rec.tuple.src_ip = static_cast<uint32_t>(r.NextU64());
+          rec.tuple.src_port = static_cast<uint16_t>(r.NextU64());
+        } else {
+          rec.tuple.src_ip = 0x0a0a0a0a;
+          rec.tuple.src_port = static_cast<uint16_t>(1024 + r.NextBelow(4096));
+        }
+        rec.tuple.proto = net::kProtoTcp;
+        rec.tcp_flags = spec.syn_flood ? net::kTcpSyn : net::kTcpAck;
+        rec.wire_len = spec.pkt_len;
+        rec.payload_len = 0;
+      });
+  MergePackets(trace, std::move(pkts));
+}
+
+void InjectWorm(Trace& trace, const WormSpec& spec, uint64_t seed) {
+  util::Rng rng(seed);
+  auto pkts = EmitAttack(
+      spec.start_s, spec.duration_s, spec.pps, 0.0, rng,
+      [&spec](PacketRecord& rec, util::Rng& r) {
+        // Infected hosts scan random targets on the worm port.
+        rec.tuple.src_ip = 0x0a140000 + static_cast<uint32_t>(r.NextBelow(spec.num_sources));
+        rec.tuple.dst_ip = static_cast<uint32_t>(r.NextU64());
+        rec.tuple.src_port = static_cast<uint16_t>(1024 + r.NextBelow(60000));
+        rec.tuple.dst_port = spec.dst_port;
+        rec.tuple.proto = net::kProtoTcp;
+        rec.tcp_flags = net::kTcpSyn;
+        rec.wire_len = spec.pkt_len;
+        rec.payload_len = 0;
+      });
+  MergePackets(trace, std::move(pkts));
+}
+
+void InjectByteBurst(Trace& trace, const ByteBurstSpec& spec, uint64_t seed) {
+  util::Rng rng(seed);
+  auto pkts = EmitAttack(
+      spec.start_s, spec.duration_s, spec.pps, 0.0, rng,
+      [&spec](PacketRecord& rec, util::Rng& r) {
+        rec.tuple.src_ip = 0x0a0b0c0d;
+        rec.tuple.dst_ip = 0xc0a80909;
+        rec.tuple.src_port = static_cast<uint16_t>(1024 + r.NextBelow(60000));
+        rec.tuple.dst_port = 9999;
+        rec.tuple.proto = net::kProtoUdp;
+        rec.wire_len = spec.pkt_len;
+        if (spec.payloads) {
+          rec.payload_len = static_cast<uint16_t>(spec.pkt_len - 40);
+          rec.payload_class = net::PayloadClass::kRandom;
+          rec.payload_seed = static_cast<uint32_t>(r.NextU64());
+        }
+      });
+  MergePackets(trace, std::move(pkts));
+}
+
+}  // namespace shedmon::trace

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/generator.h"
+
+namespace shedmon::trace {
+
+// Synthetic anomaly injectors (§3.4.3): the thesis evaluates robustness by
+// inserting attacks into its traces; these reproduce the same shapes.
+
+// (Distributed) denial of service against a single target. With spoofed
+// sources every packet carries a fresh random source IP/port, which explodes
+// the flow-related features while leaving packet counts comparatively flat —
+// the workload that defeats the SLR/EWMA predictors in Figs. 3.13-3.15.
+struct DdosSpec {
+  double start_s = 10.0;
+  double duration_s = 10.0;
+  double pps = 4000.0;
+  uint32_t target_ip = 0xc0a80105;  // 192.168.1.5
+  uint16_t dst_port = 80;
+  bool spoofed_sources = true;
+  bool syn_flood = true;      // TCP SYNs of minimum size
+  uint16_t pkt_len = 40;
+  // > 0 reproduces the §3.4.3 attack that "goes idle every other second":
+  // the attack alternates on/off with this period.
+  double on_off_period_s = 0.0;
+};
+void InjectDdos(Trace& trace, const DdosSpec& spec, uint64_t seed);
+
+// Worm outbreak: many sources scanning many destinations on one fixed port.
+struct WormSpec {
+  double start_s = 10.0;
+  double duration_s = 10.0;
+  double pps = 3000.0;
+  uint16_t dst_port = 445;
+  uint16_t pkt_len = 404;
+  uint32_t num_sources = 512;
+};
+void InjectWorm(Trace& trace, const WormSpec& spec, uint64_t seed);
+
+// Burst of maximum-size packets, the attack the thesis aims at byte-driven
+// queries (trace, pattern-search).
+struct ByteBurstSpec {
+  double start_s = 10.0;
+  double duration_s = 5.0;
+  double pps = 2000.0;
+  uint16_t pkt_len = 1500;
+  bool payloads = false;
+};
+void InjectByteBurst(Trace& trace, const ByteBurstSpec& spec, uint64_t seed);
+
+}  // namespace shedmon::trace

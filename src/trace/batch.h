@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/trace/generator.h"
+
+namespace shedmon::trace {
+
+using PacketVec = std::vector<net::Packet>;
+
+// One 100 ms time bin of traffic (the paper's "batch", §2.4). Owns the
+// materialized payload bytes for its packets in `arena`; Packet views point
+// into the arena, so a Batch is movable but not copyable.
+struct Batch {
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  PacketVec packets;
+  std::vector<uint8_t> arena;
+  uint64_t wire_bytes = 0;
+
+  Batch() = default;
+  Batch(const Batch&) = delete;
+  Batch& operator=(const Batch&) = delete;
+  Batch(Batch&&) = default;
+  Batch& operator=(Batch&&) = default;
+
+  size_t size() const { return packets.size(); }
+};
+
+// Materializes the payload bytes of a record into `out` (must hold
+// payload_len bytes): pseudo-random bytes from the record's seed with the
+// protocol signature of its payload class planted at the front.
+void MaterializePayload(const net::PacketRecord& rec, uint8_t* out);
+
+// Well-known payload signatures used by the generator, pattern-search and
+// the p2p-detector.
+std::string_view HttpSignature();
+std::string_view BittorrentSignature();
+std::string_view GnutellaSignature();
+std::string_view EdonkeySignature();
+
+// Splits a trace into consecutive fixed-length bins. Bins with no packets
+// yield empty batches so the consumer sees every time bin.
+class Batcher {
+ public:
+  Batcher(const Trace& trace, uint64_t bin_us = 100'000);
+
+  // Fills `out` with the next bin; returns false past the end of the trace.
+  bool Next(Batch& out);
+  void Reset();
+
+  size_t num_bins() const { return num_bins_; }
+  uint64_t bin_us() const { return bin_us_; }
+
+ private:
+  const Trace& trace_;
+  uint64_t bin_us_;
+  size_t num_bins_;
+  size_t cursor_ = 0;    // index into trace_.packets
+  size_t next_bin_ = 0;
+};
+
+}  // namespace shedmon::trace

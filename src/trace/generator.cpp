@@ -1,0 +1,207 @@
+#include "src/trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace shedmon::trace {
+
+namespace {
+
+using net::AppClass;
+using net::PacketRecord;
+using net::PayloadClass;
+
+struct AppProfile {
+  AppClass app;
+  double weight;
+  uint8_t proto;         // dominant protocol
+  double udp_fraction;   // chance of UDP instead
+  uint16_t ports[3];     // candidate server ports
+  double pkts_lo, pkts_hi, pkts_alpha;  // bounded-Pareto packets per flow
+  double small_pkt_fraction;            // fraction of small (ack-like) packets
+  uint16_t small_len, data_len_lo, data_len_hi;
+  double gap_mean_ms;    // mean intra-flow packet gap
+  PayloadClass first_payload;
+};
+
+std::vector<AppProfile> BuildProfiles(const TraceSpec& spec) {
+  return {
+      {AppClass::kWeb, spec.web, net::kProtoTcp, 0.0, {80, 443, 8080},
+       2, 900, 1.25, 0.45, 40, 400, 1460, 8.0, PayloadClass::kHttpRequest},
+      {AppClass::kDns, spec.dns, net::kProtoUdp, 1.0, {53, 53, 53},
+       1, 4, 1.5, 0.0, 0, 60, 300, 15.0, PayloadClass::kRandom},
+      {AppClass::kMail, spec.mail, net::kProtoTcp, 0.0, {25, 110, 587},
+       3, 200, 1.3, 0.4, 40, 200, 1460, 12.0, PayloadClass::kRandom},
+      {AppClass::kP2p, spec.p2p, net::kProtoTcp, 0.2, {6881, 4662, 6346},
+       4, 3000, 1.1, 0.3, 40, 600, 1460, 6.0, PayloadClass::kBittorrent},
+      {AppClass::kStreaming, spec.streaming, net::kProtoUdp, 0.7, {554, 1935, 8554},
+       20, 1500, 1.2, 0.05, 60, 900, 1380, 4.0, PayloadClass::kRandom},
+      {AppClass::kSsh, spec.ssh, net::kProtoTcp, 0.0, {22, 22, 22},
+       3, 400, 1.3, 0.5, 40, 60, 800, 20.0, PayloadClass::kRandom},
+      {AppClass::kOther, spec.other, net::kProtoTcp, 0.3, {0, 0, 0},
+       2, 300, 1.3, 0.3, 40, 100, 1460, 10.0, PayloadClass::kRandom},
+  };
+}
+
+// One on/off burst source: heavy-tailed on and off sojourns at a timescale.
+class OnOffSource {
+ public:
+  OnOffSource(double timescale_s, uint64_t seed)
+      : timescale_s_(timescale_s), rng_(seed) {
+    next_toggle_s_ = Sojourn();
+    on_ = (rng_.NextDouble() < 0.5);
+  }
+
+  // Advances to absolute time t and reports whether the source is on.
+  bool At(double t) {
+    while (t >= next_toggle_s_) {
+      on_ = !on_;
+      next_toggle_s_ += Sojourn();
+    }
+    return on_;
+  }
+
+ private:
+  double Sojourn() { return rng_.NextBoundedPareto(0.4 * timescale_s_, 8.0 * timescale_s_, 1.4); }
+
+  double timescale_s_;
+  util::Rng rng_;
+  double next_toggle_s_ = 0.0;
+  bool on_ = false;
+};
+
+uint32_t HostIp(uint32_t base, size_t index) {
+  // Spread hosts across /24 subnets of a /16 so autofocus finds clusters.
+  return base + static_cast<uint32_t>(((index / 200) << 8) | (index % 200 + 2));
+}
+
+}  // namespace
+
+Trace TraceGenerator::Generate() const {
+  Trace trace;
+  trace.spec = spec_;
+
+  util::Rng rng(spec_.seed);
+  util::ZipfSampler src_pool(spec_.src_hosts, spec_.host_zipf_s);
+  util::ZipfSampler dst_pool(spec_.dst_hosts, spec_.host_zipf_s);
+
+  const auto profiles = BuildProfiles(spec_);
+  double total_weight = 0.0;
+  for (const auto& p : profiles) {
+    total_weight += p.weight;
+  }
+
+  OnOffSource burst_fast(0.5, spec_.seed * 7 + 1);
+  OnOffSource burst_mid(3.0, spec_.seed * 7 + 2);
+  OnOffSource burst_slow(12.0, spec_.seed * 7 + 3);
+
+  const uint32_t src_base = 0x0a000000;   // 10.0.0.0/8
+  const uint32_t dst_base = 0xc0a80000;   // 192.168.0.0/16
+
+  // Flow arrivals: thinned Poisson over 10 ms steps with burst modulation.
+  const double step_s = 0.01;
+  const double b = spec_.burstiness;
+  for (double t = 0.0; t < spec_.duration_s; t += step_s) {
+    const double n_on = (burst_fast.At(t) ? 1.0 : 0.0) + (burst_mid.At(t) ? 1.0 : 0.0) +
+                        (burst_slow.At(t) ? 1.0 : 0.0);
+    // Mean of n_on is 1.5, so this modulation keeps the average rate at
+    // flows_per_s while letting peaks reach (1 + 1.5b) / (1 - 1.5b/2 ...) x.
+    const double modulation = (1.0 - b) + b * (n_on / 1.5);
+    const double lambda = spec_.flows_per_s * modulation * step_s;
+    int arrivals = 0;
+    // Poisson via inversion for the small means involved.
+    double p = std::exp(-lambda);
+    double cum = p;
+    const double u = rng.NextDouble();
+    while (u > cum && arrivals < 64) {
+      ++arrivals;
+      p *= lambda / arrivals;
+      cum += p;
+    }
+
+    for (int a = 0; a < arrivals; ++a) {
+      // Pick an application class.
+      double pick = rng.NextDouble() * total_weight;
+      const AppProfile* prof = &profiles.back();
+      for (const auto& candidate : profiles) {
+        if (pick < candidate.weight) {
+          prof = &candidate;
+          break;
+        }
+        pick -= candidate.weight;
+      }
+
+      net::FiveTuple tuple;
+      tuple.src_ip = HostIp(src_base, src_pool.Sample(rng));
+      tuple.dst_ip = HostIp(dst_base, dst_pool.Sample(rng));
+      tuple.src_port = static_cast<uint16_t>(1024 + rng.NextBelow(60000));
+      tuple.dst_port = prof->ports[0] == 0
+                           ? static_cast<uint16_t>(1024 + rng.NextBelow(60000))
+                           : prof->ports[rng.NextBelow(3)];
+      const bool udp = rng.NextDouble() < prof->udp_fraction;
+      tuple.proto = udp ? net::kProtoUdp : net::kProtoTcp;
+
+      const int npkts = std::max(
+          1, static_cast<int>(rng.NextBoundedPareto(prof->pkts_lo, prof->pkts_hi,
+                                                    prof->pkts_alpha)));
+      double pkt_t = t + rng.NextDouble() * step_s;
+      for (int i = 0; i < npkts; ++i) {
+        PacketRecord rec;
+        rec.ts_us = static_cast<uint64_t>(pkt_t * 1e6);
+        rec.tuple = tuple;
+        rec.app = prof->app;
+        const bool small = rng.NextDouble() < prof->small_pkt_fraction;
+        uint16_t len;
+        if (small) {
+          len = prof->small_len;
+        } else {
+          len = static_cast<uint16_t>(
+              prof->data_len_lo +
+              rng.NextBelow(static_cast<uint64_t>(prof->data_len_hi - prof->data_len_lo + 1)));
+        }
+        rec.wire_len = std::max<uint16_t>(len, 40);
+        if (tuple.proto == net::kProtoTcp) {
+          rec.tcp_flags = (i == 0) ? net::kTcpSyn : net::kTcpAck;
+        }
+        if (spec_.payloads) {
+          rec.payload_len = rec.wire_len > 40 ? static_cast<uint16_t>(rec.wire_len - 40) : 0;
+          if (rec.payload_len > 0) {
+            const bool first_data = (i == 0 || (i == 1 && tuple.proto == net::kProtoTcp));
+            rec.payload_class = first_data ? prof->first_payload : PayloadClass::kRandom;
+            if (prof->app == AppClass::kP2p && first_data) {
+              // Rotate P2P protocol signatures across flows.
+              const uint64_t which = rng.NextBelow(3);
+              rec.payload_class = which == 0   ? PayloadClass::kBittorrent
+                                  : which == 1 ? PayloadClass::kGnutella
+                                               : PayloadClass::kEdonkey;
+            }
+            rec.payload_seed = static_cast<uint32_t>(rng.NextU64());
+          }
+        }
+        if (rec.ts_us < static_cast<uint64_t>(spec_.duration_s * 1e6)) {
+          trace.packets.push_back(rec);
+        }
+        pkt_t += rng.NextExponential(1000.0 / prof->gap_mean_ms) / 1000.0;
+      }
+    }
+  }
+
+  std::sort(trace.packets.begin(), trace.packets.end(),
+            [](const PacketRecord& a, const PacketRecord& b) { return a.ts_us < b.ts_us; });
+  return trace;
+}
+
+void MergePackets(Trace& trace, std::vector<net::PacketRecord> extra) {
+  std::sort(extra.begin(), extra.end(),
+            [](const net::PacketRecord& a, const net::PacketRecord& b) { return a.ts_us < b.ts_us; });
+  const size_t old_size = trace.packets.size();
+  trace.packets.insert(trace.packets.end(), extra.begin(), extra.end());
+  std::inplace_merge(
+      trace.packets.begin(), trace.packets.begin() + static_cast<ptrdiff_t>(old_size),
+      trace.packets.end(),
+      [](const net::PacketRecord& a, const net::PacketRecord& b) { return a.ts_us < b.ts_us; });
+}
+
+}  // namespace shedmon::trace

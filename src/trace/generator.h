@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/trace/spec.h"
+
+namespace shedmon::trace {
+
+// A generated (or loaded) packet trace: records sorted by timestamp.
+struct Trace {
+  TraceSpec spec;
+  std::vector<net::PacketRecord> packets;
+
+  uint64_t duration_us() const {
+    return packets.empty() ? 0 : packets.back().ts_us + 1;
+  }
+};
+
+// Flow-level synthetic traffic generator. Flows arrive following a Poisson
+// process whose rate is modulated by three on/off burst processes at
+// different timescales (0.5 s / 3 s / 12 s) with heavy-tailed sojourn times,
+// which yields the multi-timescale burstiness network traces exhibit. Each
+// flow draws an application class from the spec's mix; the class determines
+// ports, protocol, packet count (bounded Pareto), packet sizes, inter-packet
+// gaps and payload content (HTTP or P2P signatures on the first data packet).
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(TraceSpec spec) : spec_(std::move(spec)) {}
+
+  Trace Generate() const;
+
+ private:
+  TraceSpec spec_;
+};
+
+// Merges freshly injected packets into a trace, keeping timestamp order.
+void MergePackets(Trace& trace, std::vector<net::PacketRecord> extra);
+
+}  // namespace shedmon::trace

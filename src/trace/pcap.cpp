@@ -1,0 +1,216 @@
+#include "src/trace/pcap.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/trace/batch.h"
+
+namespace shedmon::trace {
+
+namespace {
+
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr uint32_t kLinkTypeEthernet = 1;
+constexpr size_t kEthLen = 14;
+constexpr size_t kIpLen = 20;
+
+void PutU16(std::vector<uint8_t>& out, size_t offset, uint16_t value) {
+  out[offset] = static_cast<uint8_t>(value >> 8);  // network byte order
+  out[offset + 1] = static_cast<uint8_t>(value & 0xff);
+}
+
+void PutU32(std::vector<uint8_t>& out, size_t offset, uint32_t value) {
+  out[offset] = static_cast<uint8_t>(value >> 24);
+  out[offset + 1] = static_cast<uint8_t>((value >> 16) & 0xff);
+  out[offset + 2] = static_cast<uint8_t>((value >> 8) & 0xff);
+  out[offset + 3] = static_cast<uint8_t>(value & 0xff);
+}
+
+uint16_t ReadU16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+// RFC 1071 internet checksum over a header region.
+uint16_t Checksum(const uint8_t* data, size_t len) {
+  uint32_t sum = 0;
+  for (size_t i = 0; i + 1 < len; i += 2) {
+    sum += static_cast<uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (len % 2 != 0) {
+    sum += static_cast<uint32_t>(data[len - 1] << 8);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+struct PcapFileHeader {
+  uint32_t magic;
+  uint16_t version_major;
+  uint16_t version_minor;
+  int32_t thiszone;
+  uint32_t sigfigs;
+  uint32_t snaplen;
+  uint32_t linktype;
+};
+
+struct PcapRecordHeader {
+  uint32_t ts_sec;
+  uint32_t ts_usec;
+  uint32_t incl_len;
+  uint32_t orig_len;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SynthesizeFrame(const net::PacketRecord& rec) {
+  const bool tcp = rec.tuple.proto == net::kProtoTcp;
+  const size_t l4_len = tcp ? 20 : 8;
+  // The record's wire_len is the IP length; pad up if it is smaller than the
+  // headers demand so the frame stays well-formed.
+  const size_t ip_total =
+      std::max<size_t>(rec.wire_len, kIpLen + l4_len + rec.payload_len);
+  std::vector<uint8_t> frame(kEthLen + ip_total, 0);
+
+  // Ethernet: locally administered MACs derived from the IPs, EtherType IPv4.
+  frame[0] = 0x02;
+  PutU32(frame, 1, rec.tuple.dst_ip);
+  frame[5] = 0x01;
+  frame[6] = 0x02;
+  PutU32(frame, 7, rec.tuple.src_ip);
+  frame[11] = 0x02;
+  PutU16(frame, 12, 0x0800);
+
+  // IPv4 header.
+  const size_t ip = kEthLen;
+  frame[ip + 0] = 0x45;  // version 4, IHL 5
+  PutU16(frame, ip + 2, static_cast<uint16_t>(ip_total));
+  frame[ip + 8] = 64;  // TTL
+  frame[ip + 9] = rec.tuple.proto;
+  PutU32(frame, ip + 12, rec.tuple.src_ip);
+  PutU32(frame, ip + 16, rec.tuple.dst_ip);
+  PutU16(frame, ip + 10, Checksum(frame.data() + ip, kIpLen));
+
+  // L4 header.
+  const size_t l4 = ip + kIpLen;
+  PutU16(frame, l4 + 0, rec.tuple.src_port);
+  PutU16(frame, l4 + 2, rec.tuple.dst_port);
+  if (tcp) {
+    PutU32(frame, l4 + 4, static_cast<uint32_t>(rec.ts_us));  // seq surrogate
+    frame[l4 + 12] = 0x50;  // data offset 5
+    frame[l4 + 13] = rec.tcp_flags;
+    PutU16(frame, l4 + 14, 65535);  // window
+  } else {
+    PutU16(frame, l4 + 4, static_cast<uint16_t>(8 + rec.payload_len));  // UDP length
+  }
+
+  if (rec.payload_len > 0) {
+    MaterializePayload(rec, frame.data() + l4 + l4_len);
+  }
+  return frame;
+}
+
+size_t ExportPcap(const Trace& trace, const std::string& path, uint32_t snaplen) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("ExportPcap: cannot open " + path);
+  }
+  PcapFileHeader header{kPcapMagic, 2, 4, 0, 0, snaplen == 0 ? 262144 : snaplen,
+                        kLinkTypeEthernet};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  size_t written = 0;
+  for (const auto& rec : trace.packets) {
+    const std::vector<uint8_t> frame = SynthesizeFrame(rec);
+    const uint32_t keep =
+        snaplen == 0 ? static_cast<uint32_t>(frame.size())
+                     : std::min<uint32_t>(snaplen, static_cast<uint32_t>(frame.size()));
+    PcapRecordHeader rec_header{static_cast<uint32_t>(rec.ts_us / 1'000'000),
+                                static_cast<uint32_t>(rec.ts_us % 1'000'000), keep,
+                                static_cast<uint32_t>(frame.size())};
+    out.write(reinterpret_cast<const char*>(&rec_header), sizeof(rec_header));
+    out.write(reinterpret_cast<const char*>(frame.data()), keep);
+    ++written;
+  }
+  if (!out) {
+    throw std::runtime_error("ExportPcap: write failed for " + path);
+  }
+  return written;
+}
+
+Trace ImportPcap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ImportPcap: cannot open " + path);
+  }
+  PcapFileHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || header.magic != kPcapMagic) {
+    throw std::runtime_error("ImportPcap: unsupported pcap format in " + path);
+  }
+  if (header.linktype != kLinkTypeEthernet) {
+    throw std::runtime_error("ImportPcap: only LINKTYPE_ETHERNET is supported");
+  }
+
+  Trace trace;
+  trace.spec.name = path;
+  uint64_t first_ts = 0;
+  bool have_first = false;
+  std::vector<uint8_t> buf;
+  while (true) {
+    PcapRecordHeader rec_header;
+    in.read(reinterpret_cast<char*>(&rec_header), sizeof(rec_header));
+    if (!in) {
+      break;
+    }
+    buf.resize(rec_header.incl_len);
+    in.read(reinterpret_cast<char*>(buf.data()), rec_header.incl_len);
+    if (!in) {
+      throw std::runtime_error("ImportPcap: truncated record in " + path);
+    }
+    if (buf.size() < kEthLen + kIpLen || ReadU16(buf.data() + 12) != 0x0800) {
+      continue;  // non-IPv4 frame
+    }
+    const uint8_t* ip = buf.data() + kEthLen;
+    const size_t ihl = static_cast<size_t>(ip[0] & 0x0f) * 4;
+    net::PacketRecord rec;
+    const uint64_t ts =
+        static_cast<uint64_t>(rec_header.ts_sec) * 1'000'000 + rec_header.ts_usec;
+    if (!have_first) {
+      first_ts = ts;
+      have_first = true;
+    }
+    rec.ts_us = ts - first_ts;
+    rec.wire_len = ReadU16(ip + 2);
+    rec.tuple.proto = ip[9];
+    rec.tuple.src_ip = ReadU32(ip + 12);
+    rec.tuple.dst_ip = ReadU32(ip + 16);
+    const uint8_t* l4 = ip + ihl;
+    const size_t l4_avail = buf.size() - kEthLen - ihl;
+    if (l4_avail >= 4) {
+      rec.tuple.src_port = ReadU16(l4);
+      rec.tuple.dst_port = ReadU16(l4 + 2);
+    }
+    size_t l4_header = 8;
+    if (rec.tuple.proto == net::kProtoTcp && l4_avail >= 14) {
+      l4_header = static_cast<size_t>(l4[12] >> 4) * 4;
+      rec.tcp_flags = l4[13];
+    }
+    const size_t header_total = ihl + l4_header;
+    rec.payload_len = rec.wire_len > header_total
+                          ? static_cast<uint16_t>(rec.wire_len - header_total)
+                          : 0;
+    rec.payload_class = net::PayloadClass::kNone;  // bytes are not retained
+    trace.packets.push_back(rec);
+  }
+  return trace;
+}
+
+}  // namespace shedmon::trace

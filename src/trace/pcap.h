@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/trace/generator.h"
+
+namespace shedmon::trace {
+
+// Exports a trace as a standard libpcap capture file (magic 0xa1b2c3d4,
+// LINKTYPE_ETHERNET), synthesizing the Ethernet/IPv4/TCP-or-UDP headers and
+// the deterministic payload bytes for each record. Generated traces can then
+// be inspected with tcpdump/wireshark or replayed into other tools —
+// bridging the gap left by substituting the paper's DAG captures with a
+// generator (DESIGN.md §2).
+//
+// `snaplen` caps the bytes stored per packet (0 = full packet). Returns the
+// number of packets written.
+size_t ExportPcap(const Trace& trace, const std::string& path, uint32_t snaplen = 0);
+
+// Serializes one record into Ethernet/IPv4/L4 wire bytes (with payload),
+// exactly as ExportPcap writes it. Exposed for tests and for feeding other
+// byte-level consumers.
+std::vector<uint8_t> SynthesizeFrame(const net::PacketRecord& rec);
+
+// Reads back a pcap file written by ExportPcap (or any LINKTYPE_ETHERNET
+// IPv4 capture) into packet records; payload bytes are not retained, only
+// their length. Timestamps are relative to the first packet.
+Trace ImportPcap(const std::string& path);
+
+}  // namespace shedmon::trace

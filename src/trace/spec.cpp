@@ -1,0 +1,64 @@
+#include "src/trace/spec.h"
+
+namespace shedmon::trace {
+
+TraceSpec CescaI() {
+  TraceSpec s;
+  s.name = "CESCA-I";
+  s.duration_s = 30.0;
+  s.flows_per_s = 700.0;
+  s.burstiness = 0.5;
+  s.payloads = false;
+  s.seed = 11;
+  return s;
+}
+
+TraceSpec CescaII() {
+  TraceSpec s;
+  s.name = "CESCA-II";
+  s.duration_s = 30.0;
+  s.flows_per_s = 450.0;
+  s.burstiness = 0.45;
+  s.payloads = true;
+  s.seed = 22;
+  return s;
+}
+
+TraceSpec Abilene() {
+  TraceSpec s;
+  s.name = "ABILENE";
+  s.duration_s = 60.0;
+  s.flows_per_s = 850.0;
+  s.burstiness = 0.35;
+  s.payloads = false;
+  s.src_hosts = 8192;
+  s.dst_hosts = 4096;
+  s.seed = 33;
+  return s;
+}
+
+TraceSpec Cenic() {
+  TraceSpec s;
+  s.name = "CENIC";
+  s.duration_s = 30.0;
+  s.flows_per_s = 750.0;
+  s.burstiness = 0.85;  // the thesis notes peak/avg load near 4x on this trace
+  s.payloads = false;
+  s.seed = 44;
+  return s;
+}
+
+TraceSpec UpcI() {
+  TraceSpec s;
+  s.name = "UPC-I";
+  s.duration_s = 30.0;
+  s.flows_per_s = 550.0;
+  s.burstiness = 0.5;
+  s.payloads = true;
+  s.p2p = 0.18;  // campus link with a heavier P2P share
+  s.web = 0.40;
+  s.seed = 55;
+  return s;
+}
+
+}  // namespace shedmon::trace

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace shedmon::trace {
+
+// Parameters of a synthetic packet trace. The named presets below stand in
+// for the paper's datasets (Table 2.3), scaled from 30-minute captures on a
+// GbE link down to tens of seconds at a few thousand packets/s so every
+// experiment runs in seconds on a laptop while keeping the statistical
+// structure the load-shedding problem depends on: bursty arrivals,
+// heavy-tailed flow sizes, a realistic application/port mix, and (for the
+// payload traces) signature-bearing payload bytes.
+struct TraceSpec {
+  std::string name = "synthetic";
+  double duration_s = 30.0;
+  // Mean flow arrival rate; packet rate is roughly 7x this value.
+  double flows_per_s = 600.0;
+  // 0 = Poisson-smooth arrivals, 1 = strongly modulated by multi-timescale
+  // on/off bursts (self-similar-looking load).
+  double burstiness = 0.5;
+  bool payloads = false;
+  uint32_t src_hosts = 4096;
+  uint32_t dst_hosts = 2048;
+  double host_zipf_s = 1.05;  // address popularity skew
+  uint64_t seed = 1;
+
+  // Application mix (normalized internally).
+  double web = 0.45;
+  double dns = 0.12;
+  double mail = 0.06;
+  double p2p = 0.12;
+  double streaming = 0.08;
+  double ssh = 0.05;
+  double other = 0.12;
+};
+
+// Scaled-down stand-ins for the thesis datasets (Table 2.3).
+TraceSpec CescaI();    // header-only, moderate sustained load
+TraceSpec CescaII();   // full payloads, lower pps / higher bytes-per-packet
+TraceSpec Abilene();   // header-only backbone, higher rate, longer
+TraceSpec Cenic();     // header-only, strongly bursty (peak/avg ~4x)
+TraceSpec UpcI();      // full payloads, campus access link
+
+}  // namespace shedmon::trace

@@ -1,0 +1,109 @@
+#include "src/trace/trace_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace shedmon::trace {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'H', 'E', 'D', 'M', 'O', 'N', '1'};
+
+struct RawRecord {
+  uint64_t ts_us;
+  uint32_t src_ip, dst_ip;
+  uint16_t src_port, dst_port;
+  uint8_t proto;
+  uint8_t tcp_flags;
+  uint16_t wire_len, payload_len;
+  uint8_t app;
+  uint8_t payload_class;
+  uint32_t payload_seed;
+};
+
+RawRecord Pack(const net::PacketRecord& r) {
+  RawRecord w{};
+  w.ts_us = r.ts_us;
+  w.src_ip = r.tuple.src_ip;
+  w.dst_ip = r.tuple.dst_ip;
+  w.src_port = r.tuple.src_port;
+  w.dst_port = r.tuple.dst_port;
+  w.proto = r.tuple.proto;
+  w.tcp_flags = r.tcp_flags;
+  w.wire_len = r.wire_len;
+  w.payload_len = r.payload_len;
+  w.app = static_cast<uint8_t>(r.app);
+  w.payload_class = static_cast<uint8_t>(r.payload_class);
+  w.payload_seed = r.payload_seed;
+  return w;
+}
+
+net::PacketRecord Unpack(const RawRecord& w) {
+  net::PacketRecord r;
+  r.ts_us = w.ts_us;
+  r.tuple.src_ip = w.src_ip;
+  r.tuple.dst_ip = w.dst_ip;
+  r.tuple.src_port = w.src_port;
+  r.tuple.dst_port = w.dst_port;
+  r.tuple.proto = w.proto;
+  r.tcp_flags = w.tcp_flags;
+  r.wire_len = w.wire_len;
+  r.payload_len = w.payload_len;
+  r.app = static_cast<net::AppClass>(w.app);
+  r.payload_class = static_cast<net::PayloadClass>(w.payload_class);
+  r.payload_seed = w.payload_seed;
+  return r;
+}
+}  // namespace
+
+void SaveTrace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("SaveTrace: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = trace.packets.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const uint32_t name_len = static_cast<uint32_t>(trace.spec.name.size());
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  out.write(trace.spec.name.data(), name_len);
+  for (const auto& rec : trace.packets) {
+    const RawRecord w = Pack(rec);
+    out.write(reinterpret_cast<const char*>(&w), sizeof(w));
+  }
+  if (!out) {
+    throw std::runtime_error("SaveTrace: write failed for " + path);
+  }
+}
+
+Trace LoadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("LoadTrace: cannot open " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("LoadTrace: bad magic in " + path);
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  uint32_t name_len = 0;
+  in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  Trace trace;
+  trace.spec.name.resize(name_len);
+  in.read(trace.spec.name.data(), name_len);
+  trace.packets.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RawRecord w;
+    in.read(reinterpret_cast<char*>(&w), sizeof(w));
+    if (!in) {
+      throw std::runtime_error("LoadTrace: truncated file " + path);
+    }
+    trace.packets.push_back(Unpack(w));
+  }
+  return trace;
+}
+
+}  // namespace shedmon::trace

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+#include "src/trace/generator.h"
+
+namespace shedmon::trace {
+
+// Simple binary trace format ("SHEDMON1" magic + record array) so generated
+// traces can be saved and replayed across runs, mirroring the paper's use of
+// recorded captures for reproducibility.
+void SaveTrace(const Trace& trace, const std::string& path);
+Trace LoadTrace(const std::string& path);
+
+}  // namespace shedmon::trace

@@ -1,0 +1,37 @@
+#pragma once
+
+namespace shedmon::util {
+
+// Exponentially weighted moving average: v <- alpha * x + (1 - alpha) * v.
+// The first observation seeds the average, matching how the paper's error and
+// overhead smoothers start from the first measured value (§4.3).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  Ewma(double alpha, double initial) : alpha_(alpha), value_(initial), seeded_(true) {}
+
+  void Update(double x) {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+  double alpha() const { return alpha_; }
+
+  void Reset() {
+    value_ = 0.0;
+    seeded_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace shedmon::util

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shedmon::util {
+
+// SplitMix64: used for seeding and cheap stateless hashing of integers.
+uint64_t SplitMix64(uint64_t& state);
+uint64_t HashU64(uint64_t x);
+
+// xoshiro256** — fast, high-quality PRNG; all randomness in the library flows
+// through explicitly seeded instances so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n);
+  // Exponential with the given rate (mean 1 / rate).
+  double NextExponential(double rate);
+  // Bounded Pareto on [lo, hi] with tail index alpha (heavy-tailed flow
+  // lengths and on/off burst durations).
+  double NextBoundedPareto(double lo, double hi, double alpha);
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-like categorical sampler over `n` items with exponent `s`, backed by a
+// precomputed cumulative table (address and port popularity pools).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace shedmon::util

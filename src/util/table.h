@@ -1,0 +1,27 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shedmon::util {
+
+// Minimal aligned-column table printer for the bench harness output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting helpers for table cells.
+std::string Fmt(double value, int precision = 4);
+std::string FmtPercent(double fraction, int precision = 2);
+std::string FmtSci(double value, int precision = 3);
+
+}  // namespace shedmon::util

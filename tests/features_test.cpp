@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "src/features/extractor.h"
+#include "src/features/features.h"
+#include "src/trace/batch.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+#include "src/util/rng.h"
+
+namespace shedmon::features {
+namespace {
+
+TEST(Features, IndexLayoutIsDense) {
+  EXPECT_EQ(kNumFeatures, 42);
+  std::set<int> seen = {kFeatPackets, kFeatBytes};
+  for (int a = 0; a < kNumAggregates; ++a) {
+    for (int c = 0; c < kCountersPerAggregate; ++c) {
+      const int idx = FeatureIndex(static_cast<Aggregate>(a), static_cast<Counter>(c));
+      EXPECT_TRUE(seen.insert(idx).second) << idx;
+      EXPECT_GE(idx, 2);
+      EXPECT_LT(idx, kNumFeatures);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNumFeatures));
+}
+
+TEST(Features, NamesAreUniqueAndMeaningful) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    names.insert(std::string(FeatureName(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumFeatures));
+  EXPECT_EQ(FeatureName(kFeatPackets), "packets");
+  EXPECT_EQ(FeatureName(kFeatBytes), "bytes");
+  EXPECT_EQ(FeatureName(kFeatNewFiveTuple), "new_5-tuple");
+  EXPECT_EQ(FeatureName(-1), "invalid");
+  EXPECT_EQ(FeatureName(kNumFeatures), "invalid");
+}
+
+TEST(Features, AggregateKeyLengths) {
+  net::FiveTuple t{0x01020304, 0x05060708, 1000, 80, net::kProtoTcp};
+  uint8_t key[13];
+  EXPECT_EQ(AggregateKey(t, Aggregate::kSrcIp, key), 4u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kDstIp, key), 4u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kProto, key), 1u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kSrcDstIp, key), 8u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kSrcPortProto, key), 3u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kDstPortProto, key), 3u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kSrcIpSrcPortProto, key), 7u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kDstIpDstPortProto, key), 7u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kSrcDstPortProto, key), 5u);
+  EXPECT_EQ(AggregateKey(t, Aggregate::kFiveTuple, key), 13u);
+}
+
+TEST(Features, AggregateKeysDiscriminateOnlyTheirFields) {
+  net::FiveTuple a{0x01020304, 0x05060708, 1000, 80, net::kProtoTcp};
+  net::FiveTuple b = a;
+  b.src_port = 2000;  // src-ip key must not change, 5-tuple key must
+  uint8_t ka[13];
+  uint8_t kb[13];
+  const size_t la = AggregateKey(a, Aggregate::kSrcIp, ka);
+  const size_t lb = AggregateKey(b, Aggregate::kSrcIp, kb);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(ka), la),
+            std::string(reinterpret_cast<char*>(kb), lb));
+  const size_t fa = AggregateKey(a, Aggregate::kFiveTuple, ka);
+  const size_t fb = AggregateKey(b, Aggregate::kFiveTuple, kb);
+  EXPECT_NE(std::string(reinterpret_cast<char*>(ka), fa),
+            std::string(reinterpret_cast<char*>(kb), fb));
+}
+
+// Builds a PacketVec with n packets per tuple spec.
+struct PacketFixture {
+  std::vector<net::PacketRecord> records;
+  trace::PacketVec packets;
+
+  void Add(uint32_t src, uint32_t dst, uint16_t sport, uint16_t dport, uint8_t proto,
+           uint16_t len = 100) {
+    net::PacketRecord rec;
+    rec.tuple = {src, dst, sport, dport, proto};
+    rec.wire_len = len;
+    records.push_back(rec);
+  }
+  void Finish() {
+    packets.clear();
+    for (const auto& rec : records) {
+      net::Packet p;
+      p.rec = &rec;
+      packets.push_back(p);
+    }
+  }
+};
+
+TEST(Extractor, CountsPacketsAndBytesExactly) {
+  PacketFixture fx;
+  for (int i = 0; i < 50; ++i) {
+    fx.Add(1, 2, 3, 4, net::kProtoTcp, 200);
+  }
+  fx.Finish();
+  FeatureExtractor ex;
+  const FeatureVector f = ex.Extract(fx.packets);
+  EXPECT_DOUBLE_EQ(f[kFeatPackets], 50.0);
+  EXPECT_DOUBLE_EQ(f[kFeatBytes], 50.0 * 200.0);
+}
+
+TEST(Extractor, UniqueCountTracksDistinctTuples) {
+  PacketFixture fx;
+  for (uint32_t i = 0; i < 200; ++i) {
+    fx.Add(100 + i, 2, static_cast<uint16_t>(1000 + i), 80, net::kProtoTcp);
+  }
+  // Plus 300 repeats of a single tuple.
+  for (int i = 0; i < 300; ++i) {
+    fx.Add(1, 2, 3, 4, net::kProtoTcp);
+  }
+  fx.Finish();
+  FeatureExtractor ex;
+  const FeatureVector f = ex.Extract(fx.packets);
+  EXPECT_NEAR(f[kFeatUniqueFiveTuple], 201.0, 30.0);
+  // repeated-in-batch = packets - unique.
+  EXPECT_NEAR(f[FeatureIndex(Aggregate::kFiveTuple, Counter::kRepeatedBatch)],
+              500.0 - 201.0, 30.0);
+}
+
+TEST(Extractor, NewCounterSeparatesFreshFromSeen) {
+  PacketFixture first;
+  for (uint32_t i = 0; i < 100; ++i) {
+    first.Add(10 + i, 2, 1000, 80, net::kProtoTcp);
+  }
+  first.Finish();
+  PacketFixture second;
+  for (uint32_t i = 0; i < 100; ++i) {
+    second.Add(10 + i, 2, 1000, 80, net::kProtoTcp);  // all seen before
+  }
+  for (uint32_t i = 0; i < 50; ++i) {
+    second.Add(5000 + i, 2, 1000, 80, net::kProtoTcp);  // fresh
+  }
+  second.Finish();
+
+  FeatureExtractor ex;
+  ex.StartInterval();
+  (void)ex.Extract(first.packets);
+  const FeatureVector f = ex.Extract(second.packets);
+  const double new_src = f[FeatureIndex(Aggregate::kSrcIp, Counter::kNew)];
+  EXPECT_NEAR(new_src, 50.0, 20.0);
+  // repeated-in-interval = packets - new.
+  EXPECT_NEAR(f[FeatureIndex(Aggregate::kSrcIp, Counter::kRepeatedInterval)], 100.0, 20.0);
+}
+
+TEST(Extractor, StartIntervalResetsNewState) {
+  PacketFixture fx;
+  for (uint32_t i = 0; i < 100; ++i) {
+    fx.Add(10 + i, 2, 1000, 80, net::kProtoTcp);
+  }
+  fx.Finish();
+  FeatureExtractor ex;
+  (void)ex.Extract(fx.packets);
+  ex.StartInterval();
+  const FeatureVector f = ex.Extract(fx.packets);
+  // After the reset every key counts as new again.
+  EXPECT_NEAR(f[FeatureIndex(Aggregate::kSrcIp, Counter::kNew)], 100.0, 20.0);
+}
+
+TEST(Extractor, EmptyBatchGivesZeroVector) {
+  trace::PacketVec empty;
+  FeatureExtractor ex;
+  const FeatureVector f = ex.Extract(empty);
+  for (int i = 0; i < kNumFeatures; ++i) {
+    EXPECT_NEAR(f[static_cast<size_t>(i)], 0.0, 1e-9) << FeatureName(i);
+  }
+}
+
+TEST(Extractor, DeterministicForSameSeedAndInput) {
+  const trace::Trace t = trace::TraceGenerator(trace::CescaI()).Generate();
+  trace::Batcher b1(t, 100'000);
+  trace::Batcher b2(t, 100'000);
+  trace::Batch batch1;
+  trace::Batch batch2;
+  FeatureExtractor e1;
+  FeatureExtractor e2;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(b1.Next(batch1));
+    ASSERT_TRUE(b2.Next(batch2));
+    const FeatureVector f1 = e1.Extract(batch1.packets);
+    const FeatureVector f2 = e2.Extract(batch2.packets);
+    for (int k = 0; k < kNumFeatures; ++k) {
+      EXPECT_DOUBLE_EQ(f1[static_cast<size_t>(k)], f2[static_cast<size_t>(k)]);
+    }
+  }
+}
+
+TEST(Extractor, RealTrafficUniqueCountsAreConsistent) {
+  // On generated traffic the MRB estimates must track exact counts.
+  const trace::Trace t = trace::TraceGenerator(trace::CescaI()).Generate();
+  trace::Batcher batcher(t, 100'000);
+  trace::Batch batch;
+  FeatureExtractor ex;
+  int checked = 0;
+  while (batcher.Next(batch) && checked < 20) {
+    if (batch.size() < 100) {
+      continue;
+    }
+    std::unordered_set<uint32_t> srcs;
+    std::unordered_set<net::FiveTuple, net::FiveTupleHash> tuples;
+    for (const auto& pkt : batch.packets) {
+      srcs.insert(pkt.rec->tuple.src_ip);
+      tuples.insert(pkt.rec->tuple);
+    }
+    const FeatureVector f = ex.Extract(batch.packets);
+    EXPECT_NEAR(f[FeatureIndex(Aggregate::kSrcIp, Counter::kUnique)],
+                static_cast<double>(srcs.size()),
+                std::max(12.0, 0.2 * static_cast<double>(srcs.size())));
+    EXPECT_NEAR(f[kFeatUniqueFiveTuple], static_cast<double>(tuples.size()),
+                std::max(15.0, 0.2 * static_cast<double>(tuples.size())));
+    ++checked;
+  }
+  EXPECT_GE(checked, 10);
+}
+
+}  // namespace
+}  // namespace shedmon::features

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/game/game.h"
+#include "src/util/rng.h"
+
+namespace shedmon::game {
+namespace {
+
+GameConfig UnboundedGame(double capacity, size_t players,
+                         shed::StrategyKind share = shed::StrategyKind::kMmfsCpu) {
+  GameConfig cfg;
+  cfg.capacity = capacity;
+  cfg.full_demand.assign(players, capacity * 1e6);  // effectively unbounded
+  cfg.share = share;
+  return cfg;
+}
+
+TEST(Payoff, FeasibleProfileGetsDemandsPlusSpare) {
+  const GameConfig cfg = UnboundedGame(100.0, 2);
+  // Demands 20 + 30 = 50; spare 50 split max-min (25 each, unbounded caps).
+  const auto u = AllPayoffs(cfg, {20.0, 30.0});
+  EXPECT_NEAR(u[0], 45.0, 1e-9);
+  EXPECT_NEAR(u[1], 55.0, 1e-9);
+}
+
+TEST(Payoff, LargestDemandDisabledOnOverload) {
+  const GameConfig cfg = UnboundedGame(100.0, 3);
+  // 50 + 40 + 30 = 120 > 100: the 50 is disabled; 40 + 30 = 70 fits.
+  const auto u = AllPayoffs(cfg, {50.0, 40.0, 30.0});
+  EXPECT_DOUBLE_EQ(u[0], 0.0);
+  EXPECT_GT(u[1], 40.0 - 1e-9);
+  EXPECT_GT(u[2], 30.0 - 1e-9);
+}
+
+TEST(Payoff, SumNeverExceedsCapacity) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 2 + rng.NextBelow(6);
+    const GameConfig cfg = UnboundedGame(100.0, n);
+    std::vector<double> actions(n);
+    for (auto& a : actions) {
+      a = rng.NextDouble() * 120.0;
+    }
+    const auto u = AllPayoffs(cfg, actions);
+    double total = 0.0;
+    for (const double v : u) {
+      total += v;
+    }
+    EXPECT_LE(total, 100.0 * (1 + 1e-9));
+  }
+}
+
+TEST(Payoff, ActivePlayerNeverGetsLessThanDemand) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 2 + rng.NextBelow(6);
+    const GameConfig cfg = UnboundedGame(100.0, n);
+    std::vector<double> actions(n);
+    for (auto& a : actions) {
+      a = rng.NextDouble() * 60.0;
+    }
+    const auto u = AllPayoffs(cfg, actions);
+    for (size_t q = 0; q < n; ++q) {
+      if (u[q] > 0.0) {
+        EXPECT_GE(u[q], actions[q] - 1e-9);
+      }
+    }
+  }
+}
+
+// Theorem 5.1: a* with a_i = C/|Q| is the unique Nash equilibrium.
+class NashSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NashSweep, FairShareProfileIsEquilibrium) {
+  const size_t n = GetParam();
+  for (const auto share : {shed::StrategyKind::kMmfsCpu, shed::StrategyKind::kMmfsPkt}) {
+    const GameConfig cfg = UnboundedGame(100.0, n, share);
+    const std::vector<double> fair(n, 100.0 / static_cast<double>(n));
+    EXPECT_TRUE(IsNashEquilibrium(cfg, fair, 501, 1e-6)) << n;
+  }
+}
+
+TEST_P(NashSweep, DeviationsFromFairShareAreUnprofitable) {
+  const size_t n = GetParam();
+  const GameConfig cfg = UnboundedGame(100.0, n);
+  const double fair = 100.0 / static_cast<double>(n);
+  std::vector<double> actions(n, fair);
+  const double base = Payoff(cfg, actions, 0);
+  EXPECT_NEAR(base, fair, 1e-9);
+  // Asking for more gets you disabled (payoff 0).
+  actions[0] = fair * 1.05;
+  EXPECT_DOUBLE_EQ(Payoff(cfg, actions, 0), 0.0);
+  // Asking for less leaves you strictly below the fair share.
+  actions[0] = fair * 0.5;
+  EXPECT_LT(Payoff(cfg, actions, 0), base - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlayerCounts, NashSweep, ::testing::Values(2, 3, 5, 8, 11));
+
+TEST(Nash, UnfairProfilesAreNotEquilibria) {
+  const GameConfig cfg = UnboundedGame(100.0, 4);
+  EXPECT_FALSE(IsNashEquilibrium(cfg, {10.0, 10.0, 10.0, 10.0}, 501, 1e-6));
+  EXPECT_FALSE(IsNashEquilibrium(cfg, {40.0, 30.0, 20.0, 10.0}, 501, 1e-6));
+}
+
+TEST(Nash, FairShareIsFixedPointOfBestResponse) {
+  // At the equilibrium nobody moves; best-response dynamics stay put. (From
+  // arbitrary profiles, best-response dynamics in this game may cycle — the
+  // thesis only claims uniqueness of the equilibrium, not convergence.)
+  const GameConfig cfg = UnboundedGame(100.0, 5);
+  const std::vector<double> fair(5, 20.0);
+  const auto after = BestResponseDynamics(cfg, fair, 16, 501);
+  for (const double a : after) {
+    EXPECT_NEAR(a, 20.0, 1e-9);
+  }
+}
+
+TEST(Nash, BestResponseDynamicsStayFeasible) {
+  const GameConfig cfg = UnboundedGame(100.0, 5);
+  const auto profile = BestResponseDynamics(cfg, {5.0, 90.0, 33.0, 1.0, 60.0}, 32, 201);
+  for (const double a : profile) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 100.0);
+  }
+  const auto u = AllPayoffs(cfg, profile);
+  double total = 0.0;
+  for (const double v : u) {
+    total += v;
+  }
+  EXPECT_LE(total, 100.0 * (1 + 1e-9));
+}
+
+TEST(Nash, AuroraStyleGreedyContrast) {
+  // §5.3's closing observation: in a utility-maximizing system, demanding
+  // everything is dominant. In ours, demanding everything yields zero when
+  // anyone else demands anything.
+  const GameConfig cfg = UnboundedGame(100.0, 2);
+  EXPECT_DOUBLE_EQ(Payoff(cfg, {100.0, 10.0}, 0), 0.0);
+}
+
+// ------------------------------------------------------ Fig. 5.1 simulator --
+
+TEST(MmfsSim, AccuracyFunctionsMatchSpec) {
+  EXPECT_DOUBLE_EQ(LightAccuracy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(LightAccuracy(1.0), 1.0);
+  EXPECT_NEAR(LightAccuracy(0.2), 1.0 - 0.8 * 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(HeavyAccuracy(0.35), 0.35);
+}
+
+TEST(MmfsSim, NoOverloadGivesPerfectAccuracyBothStrategies) {
+  const auto p = SimulateLightHeavy(0.0, 0.0);
+  EXPECT_NEAR(p.avg_accuracy_cpu, 1.0, 1e-9);
+  EXPECT_NEAR(p.avg_accuracy_pkt, 1.0, 1e-9);
+}
+
+TEST(MmfsSim, PktImprovesMinimumAccuracyUnderOverload) {
+  // The Fig. 5.1 (right) ridge: mmfs_pkt dominates mmfs_cpu on the minimum
+  // accuracy because cpu fairness starves the heavy query.
+  const auto p = SimulateLightHeavy(0.0, 0.5);
+  EXPECT_GT(p.min_diff(), 0.1);
+  // While average accuracy stays close (left plot is almost flat).
+  EXPECT_NEAR(p.avg_diff(), 0.0, 0.15);
+}
+
+TEST(MmfsSim, StrategiesCoincideWhenHeavyQueryDisabled) {
+  // Along the Fig. 5.1 diagonal (high m_q and high K) the heavy query is
+  // disabled under both strategies and the difference vanishes.
+  const auto p = SimulateLightHeavy(0.9, 0.8);
+  EXPECT_NEAR(p.min_diff(), 0.0, 1e-9);
+}
+
+TEST(MmfsSim, SweepIsBoundedAndFinite) {
+  for (double mq = 0.0; mq <= 1.0; mq += 0.25) {
+    for (double k = 0.0; k <= 1.0; k += 0.25) {
+      const auto p = SimulateLightHeavy(mq, k);
+      for (const double v : {p.avg_accuracy_cpu, p.min_accuracy_cpu, p.avg_accuracy_pkt,
+                             p.min_accuracy_pkt}) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        EXPECT_TRUE(std::isfinite(v));
+      }
+    }
+  }
+}
+
+TEST(MmfsSim, FullOverloadKillsEverything) {
+  const auto p = SimulateLightHeavy(0.5, 1.0);
+  EXPECT_NEAR(p.avg_accuracy_cpu, 0.0, 1e-9);
+  EXPECT_NEAR(p.avg_accuracy_pkt, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace shedmon::game

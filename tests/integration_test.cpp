@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "src/core/runner.h"
+#include "src/query/queries.h"
+#include "src/trace/anomaly.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+#include "src/util/stats.h"
+
+namespace shedmon {
+namespace {
+
+using core::MeasureMeanDemand;
+using core::OracleKind;
+using core::RunSpec;
+using core::RunSystemOnTrace;
+using core::ShedderKind;
+
+trace::Trace IntegrationTrace() {
+  trace::TraceSpec spec;
+  spec.name = "integration";
+  spec.duration_s = 10.0;
+  spec.flows_per_s = 220.0;
+  spec.payloads = true;
+  spec.seed = 101;
+  return trace::TraceGenerator(spec).Generate();
+}
+
+const std::vector<std::string> kSeven = {"application", "counter",        "flows",
+                                         "high-watermark", "pattern-search", "top-k",
+                                         "trace"};
+
+// Full seven-query pipeline at K = 0.5 with the model oracle: the Ch. 4
+// headline result in miniature.
+TEST(Integration, SevenQueriesUnderTwoTimesOverload) {
+  const auto t = IntegrationTrace();
+  const double demand = MeasureMeanDemand(kSeven, t, OracleKind::kModel);
+
+  RunSpec spec;
+  spec.system.shedder = ShedderKind::kPredictive;
+  spec.system.strategy = shed::StrategyKind::kEqSrates;
+  spec.system.cycles_per_bin = 0.5 * demand;
+  spec.oracle = OracleKind::kModel;
+  spec.query_names = kSeven;
+  spec.use_default_min_rates = false;
+  auto result = RunSystemOnTrace(spec, t);
+
+  EXPECT_EQ(result.system->total_dropped(), 0u);
+  // Scalable-metric queries stay accurate under 2x overload.
+  for (size_t q = 0; q < kSeven.size(); ++q) {
+    const auto& name = kSeven[q];
+    if (name == "trace" || name == "pattern-search") {
+      continue;  // their "error" is the processed fraction by definition
+    }
+    // high-watermark estimates a maximum, whose sampled estimator carries an
+    // upward bias; the thesis likewise reports it as its least accurate
+    // scalable query (Table 4.1).
+    const double bound = name == "high-watermark" ? 0.22 : 0.12;
+    EXPECT_LT(result.Accuracy(q).mean_error, bound) << name;
+  }
+}
+
+TEST(Integration, MmfsPktRaisesWorstQueryAccuracy) {
+  const auto t = IntegrationTrace();
+  const std::vector<std::string> names = {"counter", "flows", "p2p-detector"};
+  const double demand = MeasureMeanDemand(names, t, OracleKind::kModel);
+
+  RunSpec eq;
+  eq.system.shedder = ShedderKind::kPredictive;
+  eq.system.strategy = shed::StrategyKind::kEqSrates;
+  eq.system.cycles_per_bin = 0.4 * demand;
+  eq.oracle = OracleKind::kModel;
+  eq.query_names = names;
+  eq.use_default_min_rates = false;
+
+  RunSpec mmfs = eq;
+  mmfs.system.strategy = shed::StrategyKind::kMmfsPkt;
+
+  auto r_eq = RunSystemOnTrace(eq, t);
+  auto r_mmfs = RunSystemOnTrace(mmfs, t);
+  // Both run stably without uncontrolled loss.
+  EXPECT_EQ(r_eq.system->total_dropped(), 0u);
+  EXPECT_EQ(r_mmfs.system->total_dropped(), 0u);
+  // mmfs_pkt cannot be much worse on the minimum and is typically better.
+  EXPECT_GE(r_mmfs.MinimumAccuracy() + 0.05, r_eq.MinimumAccuracy());
+}
+
+// §4.5.5-style anomaly robustness: a spoofed SYN flood multiplies the flows
+// query's cost; with predictive shedding the flow-count estimate holds.
+TEST(Integration, SynFloodFlowsQueryStaysAccurate) {
+  trace::Trace t = IntegrationTrace();
+  trace::DdosSpec ddos;
+  ddos.start_s = 4.0;
+  ddos.duration_s = 3.0;
+  ddos.pps = 2500.0;
+  ddos.spoofed_sources = true;
+  ddos.syn_flood = true;
+  InjectDdos(t, ddos, 999);
+
+  const std::vector<std::string> names = {"flows"};
+  const double demand = MeasureMeanDemand(names, t, OracleKind::kModel);
+  RunSpec spec;
+  spec.system.shedder = ShedderKind::kPredictive;
+  spec.system.cycles_per_bin = 0.6 * demand;
+  spec.oracle = OracleKind::kModel;
+  spec.query_names = names;
+  spec.use_default_min_rates = false;
+  auto result = RunSystemOnTrace(spec, t);
+
+  EXPECT_EQ(result.system->total_dropped(), 0u);
+  EXPECT_LT(result.Accuracy(0).mean_error, 0.10);
+}
+
+// The same scenario without load shedding loses batches wholesale and the
+// flow count collapses.
+TEST(Integration, SynFloodWithoutSheddingFails) {
+  trace::Trace t = IntegrationTrace();
+  trace::DdosSpec ddos;
+  ddos.start_s = 4.0;
+  ddos.duration_s = 3.0;
+  ddos.pps = 2500.0;
+  InjectDdos(t, ddos, 999);
+
+  const std::vector<std::string> names = {"flows"};
+  const double demand = MeasureMeanDemand(names, t, OracleKind::kModel);
+  RunSpec spec;
+  spec.system.shedder = ShedderKind::kNoShed;
+  spec.system.cycles_per_bin = 0.6 * demand;
+  spec.oracle = OracleKind::kModel;
+  spec.query_names = names;
+  spec.use_default_min_rates = false;
+  auto result = RunSystemOnTrace(spec, t);
+
+  EXPECT_GT(result.system->total_dropped(), 0u);
+  EXPECT_GT(result.Accuracy(0).mean_error, 0.15);
+}
+
+// Custom shedding end-to-end: the p2p-detector's own method beats uniform
+// packet sampling at equal budget (the Fig. 6.1/6.2 phenomenon).
+TEST(Integration, CustomSheddingBeatsPacketSamplingForP2p) {
+  const auto t = IntegrationTrace();
+  const std::vector<std::string> names = {"p2p-detector", "pattern-search"};
+  const double demand = MeasureMeanDemand(names, t, OracleKind::kModel);
+
+  RunSpec base;
+  base.system.shedder = ShedderKind::kPredictive;
+  base.system.strategy = shed::StrategyKind::kMmfsPkt;
+  base.system.cycles_per_bin = 0.45 * demand;
+  base.oracle = OracleKind::kModel;
+  base.query_names = names;
+  base.use_default_min_rates = false;
+
+  RunSpec custom = base;
+  custom.system.enable_custom_shedding = true;
+
+  auto r_plain = RunSystemOnTrace(base, t);
+  auto r_custom = RunSystemOnTrace(custom, t);
+  EXPECT_GT(r_custom.MeanAccuracy(0) + 0.02, r_plain.MeanAccuracy(0));
+}
+
+// Smoke test with the measured (rdtsc) oracle: real cycles, real queries.
+// Uses the payload-heavy queries so that query cost dominates the (real)
+// feature-extraction overhead, as it does on the paper's testbed.
+TEST(Integration, MeasuredOracleSmokeTest) {
+  trace::TraceSpec spec_t;
+  spec_t.duration_s = 4.0;
+  spec_t.flows_per_s = 150.0;
+  spec_t.payloads = true;
+  spec_t.seed = 202;
+  const auto t = trace::TraceGenerator(spec_t).Generate();
+  const std::vector<std::string> names = {"pattern-search", "p2p-detector", "counter"};
+  const double demand = MeasureMeanDemand(names, t, OracleKind::kMeasured);
+  ASSERT_GT(demand, 0.0);
+
+  RunSpec spec;
+  spec.system.shedder = ShedderKind::kPredictive;
+  spec.system.cycles_per_bin = 0.6 * demand;
+  spec.oracle = OracleKind::kMeasured;
+  spec.query_names = names;
+  spec.use_default_min_rates = false;
+  auto result = RunSystemOnTrace(spec, t);
+  EXPECT_EQ(result.system->log().size(), 40u);
+  // Real measurement is noisy; require the pipeline to remain sane: the
+  // budget is 60% of demand, so average accuracy well above that of a
+  // collapsed system (~0) and bounded drops.
+  EXPECT_GT(result.AverageAccuracy(), 0.4);
+  EXPECT_LT(result.system->total_dropped(), result.system->total_packets() / 4);
+}
+
+// Long-run stability: prediction error EWMA keeps the system inside its
+// budget across a longer execution (mini Fig. 6.12).
+TEST(Integration, LongRunStaysStable) {
+  trace::TraceSpec spec_t;
+  spec_t.duration_s = 30.0;
+  spec_t.flows_per_s = 200.0;
+  spec_t.seed = 303;
+  const auto t = trace::TraceGenerator(spec_t).Generate();
+  const std::vector<std::string> names = {"counter", "flows", "application", "top-k"};
+  const double demand = MeasureMeanDemand(names, t, OracleKind::kModel);
+
+  RunSpec spec;
+  spec.system.shedder = ShedderKind::kPredictive;
+  spec.system.cycles_per_bin = 0.5 * demand;
+  spec.oracle = OracleKind::kModel;
+  spec.query_names = names;
+  spec.use_default_min_rates = false;
+  auto result = RunSystemOnTrace(spec, t);
+  EXPECT_EQ(result.system->total_dropped(), 0u);
+
+  // Backlog must not trend upward: compare first and second half occupancy.
+  util::RunningStats first_half;
+  util::RunningStats second_half;
+  const auto& log = result.system->log();
+  for (size_t i = 0; i < log.size(); ++i) {
+    (i < log.size() / 2 ? first_half : second_half).Add(log[i].backlog_cycles);
+  }
+  EXPECT_LT(second_half.mean(),
+            first_half.mean() + 0.5 * result.system->capacity());
+}
+
+}  // namespace
+}  // namespace shedmon

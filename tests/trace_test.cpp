@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "src/trace/anomaly.h"
+#include "src/trace/batch.h"
+#include "src/trace/generator.h"
+#include "src/trace/pcap.h"
+#include "src/trace/spec.h"
+#include "src/trace/trace_io.h"
+
+namespace shedmon::trace {
+namespace {
+
+TraceSpec SmallSpec() {
+  TraceSpec spec;
+  spec.name = "test";
+  spec.duration_s = 5.0;
+  spec.flows_per_s = 200.0;
+  spec.payloads = true;
+  spec.seed = 3;
+  return spec;
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const Trace a = TraceGenerator(SmallSpec()).Generate();
+  const Trace b = TraceGenerator(SmallSpec()).Generate();
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (size_t i = 0; i < a.packets.size(); i += 97) {
+    EXPECT_EQ(a.packets[i].ts_us, b.packets[i].ts_us);
+    EXPECT_EQ(a.packets[i].tuple, b.packets[i].tuple);
+  }
+}
+
+TEST(Generator, PacketsSortedAndWithinDuration) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  ASSERT_FALSE(t.packets.empty());
+  for (size_t i = 1; i < t.packets.size(); ++i) {
+    EXPECT_LE(t.packets[i - 1].ts_us, t.packets[i].ts_us);
+  }
+  EXPECT_LT(t.packets.back().ts_us, 5'000'000u);
+}
+
+TEST(Generator, ProducesPlausibleRate) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  // ~200 flows/s x ~4-10 pkts/flow x 5 s.
+  EXPECT_GT(t.packets.size(), 2000u);
+  EXPECT_LT(t.packets.size(), 60000u);
+}
+
+TEST(Generator, AppMixIncludesMajorClasses) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  std::set<net::AppClass> seen;
+  for (const auto& p : t.packets) {
+    seen.insert(p.app);
+  }
+  EXPECT_TRUE(seen.count(net::AppClass::kWeb));
+  EXPECT_TRUE(seen.count(net::AppClass::kDns));
+  EXPECT_TRUE(seen.count(net::AppClass::kP2p));
+}
+
+TEST(Generator, TcpFlowsStartWithSyn) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  std::set<net::FiveTuple> seen;
+  size_t first_pkts = 0;
+  size_t syn_first = 0;
+  for (const auto& p : t.packets) {
+    if (p.tuple.proto != net::kProtoTcp) {
+      continue;
+    }
+    if (seen.insert(p.tuple).second) {
+      ++first_pkts;
+      if ((p.tcp_flags & net::kTcpSyn) != 0) {
+        ++syn_first;
+      }
+    }
+  }
+  ASSERT_GT(first_pkts, 100u);
+  // Within-flow reordering across bins can shuffle a few; most hold.
+  EXPECT_GT(static_cast<double>(syn_first) / static_cast<double>(first_pkts), 0.9);
+}
+
+TEST(Generator, HeaderOnlySpecHasNoPayload) {
+  TraceSpec spec = SmallSpec();
+  spec.payloads = false;
+  const Trace t = TraceGenerator(spec).Generate();
+  for (const auto& p : t.packets) {
+    EXPECT_EQ(p.payload_len, 0);
+  }
+}
+
+TEST(Generator, PresetsHaveDistinctCharacters) {
+  EXPECT_FALSE(CescaI().payloads);
+  EXPECT_TRUE(CescaII().payloads);
+  EXPECT_GT(Cenic().burstiness, CescaI().burstiness);
+  EXPECT_GT(Abilene().duration_s, CescaI().duration_s);
+  EXPECT_TRUE(UpcI().payloads);
+}
+
+TEST(Anomaly, DdosAddsPacketsInWindow) {
+  Trace t = TraceGenerator(SmallSpec()).Generate();
+  const size_t before = t.packets.size();
+  DdosSpec ddos;
+  ddos.start_s = 1.0;
+  ddos.duration_s = 2.0;
+  ddos.pps = 1000.0;
+  InjectDdos(t, ddos, 5);
+  EXPECT_NEAR(static_cast<double>(t.packets.size() - before), 2000.0, 300.0);
+  for (size_t i = 1; i < t.packets.size(); ++i) {
+    ASSERT_LE(t.packets[i - 1].ts_us, t.packets[i].ts_us);
+  }
+  for (const auto& p : t.packets) {
+    if (p.app == net::AppClass::kAttack) {
+      EXPECT_GE(p.ts_us, 1'000'000u);
+      EXPECT_LT(p.ts_us, 3'100'000u);
+      EXPECT_EQ(p.tuple.dst_ip, ddos.target_ip);
+    }
+  }
+}
+
+TEST(Anomaly, SpoofedDdosExplodesSourceCount) {
+  Trace t;
+  t.spec.duration_s = 3.0;
+  DdosSpec ddos;
+  ddos.start_s = 0.0;
+  ddos.duration_s = 3.0;
+  ddos.pps = 2000.0;
+  ddos.spoofed_sources = true;
+  InjectDdos(t, ddos, 7);
+  std::set<uint32_t> srcs;
+  for (const auto& p : t.packets) {
+    srcs.insert(p.tuple.src_ip);
+  }
+  // Nearly every spoofed packet has a unique source.
+  EXPECT_GT(srcs.size(), t.packets.size() * 9 / 10);
+}
+
+TEST(Anomaly, OnOffDdosLeavesGaps) {
+  Trace t;
+  t.spec.duration_s = 10.0;
+  DdosSpec ddos;
+  ddos.start_s = 0.0;
+  ddos.duration_s = 8.0;
+  ddos.pps = 1000.0;
+  ddos.on_off_period_s = 1.0;
+  InjectDdos(t, ddos, 9);
+  // Packets only in the "on" seconds: [0,1), [2,3), [4,5), [6,7).
+  for (const auto& p : t.packets) {
+    const double sec = static_cast<double>(p.ts_us) * 1e-6;
+    const int second = static_cast<int>(sec);
+    EXPECT_EQ(second % 2, 0) << sec;
+  }
+}
+
+TEST(Anomaly, WormScansManyDestinationsOnOnePort) {
+  Trace t;
+  t.spec.duration_s = 5.0;
+  WormSpec worm;
+  worm.start_s = 0.0;
+  worm.duration_s = 5.0;
+  worm.pps = 1000.0;
+  InjectWorm(t, worm, 11);
+  std::set<uint32_t> dsts;
+  for (const auto& p : t.packets) {
+    EXPECT_EQ(p.tuple.dst_port, worm.dst_port);
+    dsts.insert(p.tuple.dst_ip);
+  }
+  EXPECT_GT(dsts.size(), 4000u);
+}
+
+TEST(Anomaly, ByteBurstUsesLargePackets) {
+  Trace t;
+  t.spec.duration_s = 3.0;
+  ByteBurstSpec burst;
+  burst.start_s = 0.5;
+  burst.duration_s = 1.0;
+  InjectByteBurst(t, burst, 13);
+  ASSERT_FALSE(t.packets.empty());
+  for (const auto& p : t.packets) {
+    EXPECT_EQ(p.wire_len, 1500);
+  }
+}
+
+TEST(Batcher, CoversWholeTraceWithoutLoss) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  Batcher batcher(t, 100'000);
+  Batch batch;
+  size_t total = 0;
+  size_t bins = 0;
+  uint64_t expected_start = 0;
+  while (batcher.Next(batch)) {
+    EXPECT_EQ(batch.start_us, expected_start);
+    expected_start += 100'000;
+    total += batch.size();
+    ++bins;
+  }
+  EXPECT_EQ(total, t.packets.size());
+  EXPECT_EQ(bins, batcher.num_bins());
+  EXPECT_NEAR(static_cast<double>(bins), 50.0, 1.0);
+}
+
+TEST(Batcher, PacketsFallInsideTheirBin) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  Batcher batcher(t, 100'000);
+  Batch batch;
+  while (batcher.Next(batch)) {
+    for (const auto& pkt : batch.packets) {
+      EXPECT_GE(pkt.ts_us(), batch.start_us);
+      EXPECT_LT(pkt.ts_us(), batch.start_us + batch.duration_us);
+    }
+  }
+}
+
+TEST(Batcher, MaterializesDeterministicPayloads) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  Batcher b1(t, 100'000);
+  Batcher b2(t, 100'000);
+  Batch batch1;
+  Batch batch2;
+  ASSERT_TRUE(b1.Next(batch1));
+  ASSERT_TRUE(b2.Next(batch2));
+  ASSERT_EQ(batch1.size(), batch2.size());
+  for (size_t i = 0; i < batch1.size(); ++i) {
+    ASSERT_EQ(batch1.packets[i].payload_len, batch2.packets[i].payload_len);
+    if (batch1.packets[i].payload_len > 0) {
+      EXPECT_EQ(std::memcmp(batch1.packets[i].payload, batch2.packets[i].payload,
+                            batch1.packets[i].payload_len),
+                0);
+    }
+  }
+}
+
+TEST(Batcher, PlantsSignaturesForP2pFlows) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  Batcher batcher(t, 100'000);
+  Batch batch;
+  bool found_p2p_sig = false;
+  const auto bt = BittorrentSignature();
+  const auto gn = GnutellaSignature();
+  const auto ed = EdonkeySignature();
+  while (batcher.Next(batch) && !found_p2p_sig) {
+    for (const auto& pkt : batch.packets) {
+      if (pkt.payload_len < 24) {
+        continue;
+      }
+      const char* data = reinterpret_cast<const char*>(pkt.payload);
+      if (std::memcmp(data, bt.data(), std::min(bt.size(), size_t{20})) == 0 ||
+          std::memcmp(data, gn.data(), std::min(gn.size(), size_t{20})) == 0 ||
+          std::memcmp(data, ed.data(), ed.size()) == 0) {
+        found_p2p_sig = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_p2p_sig);
+}
+
+TEST(Batcher, WireBytesMatchesSum) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  Batcher batcher(t, 100'000);
+  Batch batch;
+  while (batcher.Next(batch)) {
+    uint64_t sum = 0;
+    for (const auto& pkt : batch.packets) {
+      sum += pkt.rec->wire_len;
+    }
+    EXPECT_EQ(sum, batch.wire_bytes);
+  }
+}
+
+TEST(Batcher, ResetReplaysFromStart) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  Batcher batcher(t, 100'000);
+  Batch batch;
+  ASSERT_TRUE(batcher.Next(batch));
+  const size_t first_size = batch.size();
+  while (batcher.Next(batch)) {
+  }
+  batcher.Reset();
+  ASSERT_TRUE(batcher.Next(batch));
+  EXPECT_EQ(batch.size(), first_size);
+}
+
+
+TEST(Pcap, ExportedFileHasValidStructure) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  const std::string path = ::testing::TempDir() + "/shedmon_test.pcap";
+  const size_t written = ExportPcap(t, path);
+  EXPECT_EQ(written, t.packets.size());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), 4);
+  EXPECT_EQ(magic, 0xa1b2c3d4u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, FrameHasWellFormedHeaders) {
+  net::PacketRecord rec;
+  rec.tuple = {0x0a000001, 0xc0a80001, 12345, 80, net::kProtoTcp};
+  rec.wire_len = 140;
+  rec.payload_len = 100;
+  rec.payload_class = net::PayloadClass::kHttpRequest;
+  rec.payload_seed = 42;
+  rec.tcp_flags = net::kTcpAck;
+  const auto frame = SynthesizeFrame(rec);
+  ASSERT_GE(frame.size(), 14u + 20u + 20u);
+  // EtherType IPv4.
+  EXPECT_EQ(frame[12], 0x08);
+  EXPECT_EQ(frame[13], 0x00);
+  // IPv4 version/IHL.
+  EXPECT_EQ(frame[14], 0x45);
+  // Protocol and addresses at their offsets.
+  EXPECT_EQ(frame[14 + 9], net::kProtoTcp);
+  EXPECT_EQ(frame[14 + 12], 0x0a);
+  EXPECT_EQ(frame[14 + 16], 0xc0);
+  // Ports in network byte order.
+  EXPECT_EQ((frame[34] << 8) | frame[35], 12345);
+  EXPECT_EQ((frame[36] << 8) | frame[37], 80);
+  // The payload (with the HTTP signature) starts after 54 header bytes.
+  const std::string sig(HttpSignature());
+  EXPECT_EQ(std::memcmp(frame.data() + 54, sig.data(), 8), 0);
+}
+
+TEST(Pcap, IpChecksumVerifies) {
+  net::PacketRecord rec;
+  rec.tuple = {0x01020304, 0x05060708, 1111, 2222, net::kProtoUdp};
+  rec.wire_len = 60;
+  const auto frame = SynthesizeFrame(rec);
+  // RFC 1071: the checksum of a header including its checksum field is 0.
+  uint32_t sum = 0;
+  for (size_t i = 14; i + 1 < 14 + 20; i += 2) {
+    sum += static_cast<uint32_t>((frame[i] << 8) | frame[i + 1]);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  EXPECT_EQ(static_cast<uint16_t>(~sum), 0);
+}
+
+TEST(Pcap, RoundTripPreservesTuplesAndTiming) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  const std::string path = ::testing::TempDir() + "/shedmon_roundtrip.pcap";
+  ExportPcap(t, path);
+  const Trace back = ImportPcap(path);
+  ASSERT_EQ(back.packets.size(), t.packets.size());
+  // Import normalizes timestamps to the first packet.
+  const uint64_t base = t.packets.front().ts_us;
+  for (size_t i = 0; i < t.packets.size(); i += 101) {
+    EXPECT_EQ(back.packets[i].tuple, t.packets[i].tuple) << i;
+    EXPECT_EQ(back.packets[i].ts_us, t.packets[i].ts_us - base) << i;
+    if (t.packets[i].tuple.proto == net::kProtoTcp) {
+      EXPECT_EQ(back.packets[i].tcp_flags, t.packets[i].tcp_flags) << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, SnaplenTruncatesStoredBytes) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  const std::string full_path = ::testing::TempDir() + "/shedmon_full.pcap";
+  const std::string snap_path = ::testing::TempDir() + "/shedmon_snap.pcap";
+  ExportPcap(t, full_path);
+  ExportPcap(t, snap_path, 64);
+  std::ifstream full(full_path, std::ios::binary | std::ios::ate);
+  std::ifstream snap(snap_path, std::ios::binary | std::ios::ate);
+  EXPECT_GT(full.tellg(), snap.tellg());
+  // Truncated captures still import (headers fit in 64 bytes).
+  const Trace back = ImportPcap(snap_path);
+  EXPECT_EQ(back.packets.size(), t.packets.size());
+  std::remove(full_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(Pcap, ImportRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/shedmon_garbage.pcap";
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a pcap file at all";
+  out.close();
+  EXPECT_THROW(ImportPcap(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RoundTripsPacketsExactly) {
+  const Trace t = TraceGenerator(SmallSpec()).Generate();
+  const std::string path = ::testing::TempDir() + "/shedmon_roundtrip.trace";
+  SaveTrace(t, path);
+  const Trace loaded = LoadTrace(path);
+  ASSERT_EQ(loaded.packets.size(), t.packets.size());
+  EXPECT_EQ(loaded.spec.name, t.spec.name);
+  for (size_t i = 0; i < t.packets.size(); i += 53) {
+    EXPECT_EQ(loaded.packets[i].ts_us, t.packets[i].ts_us);
+    EXPECT_EQ(loaded.packets[i].tuple, t.packets[i].tuple);
+    EXPECT_EQ(loaded.packets[i].wire_len, t.packets[i].wire_len);
+    EXPECT_EQ(loaded.packets[i].payload_seed, t.packets[i].payload_seed);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(LoadTrace("/nonexistent/file.trace"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shedmon::trace

@@ -1,0 +1,333 @@
+// shedmon — command-line front end to the library.
+//
+//   shedmon generate --preset cesca2 --duration 30 --seed 7 --out t.smt
+//   shedmon info t.smt
+//   shedmon export-pcap t.smt t.pcap
+//   shedmon inject-ddos t.smt --start 10 --duration 5 --pps 3000 --out t2.smt
+//   shedmon run t.smt --queries counter,flows --k 0.5 --strategy mmfs_pkt
+//
+// `run` executes the full predictive load-shedding pipeline over a saved
+// trace and reports per-query accuracy against an unsampled reference plus
+// the shedding statistics — the same loop every bench uses.
+
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/query/queries.h"
+#include "src/trace/anomaly.h"
+#include "src/trace/generator.h"
+#include "src/trace/pcap.h"
+#include "src/trace/spec.h"
+#include "src/trace/trace_io.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace shedmon;
+
+// ----------------------------------------------------------- flag parsing --
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+          values_[arg.substr(2)] = argv[++i];
+        } else {
+          values_[arg.substr(2)] = "true";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+trace::TraceSpec PresetByName(const std::string& name) {
+  if (name == "cesca1") {
+    return trace::CescaI();
+  }
+  if (name == "cesca2") {
+    return trace::CescaII();
+  }
+  if (name == "abilene") {
+    return trace::Abilene();
+  }
+  if (name == "cenic") {
+    return trace::Cenic();
+  }
+  if (name == "upc1") {
+    return trace::UpcI();
+  }
+  throw std::invalid_argument("unknown preset '" + name +
+                              "' (cesca1|cesca2|abilene|cenic|upc1)");
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+int Usage() {
+  std::printf(
+      "usage: shedmon <command> [flags]\n"
+      "\n"
+      "  generate    --preset P [--duration S] [--seed N] [--flows-per-s F]\n"
+      "              [--burstiness B] --out FILE [--pcap FILE]\n"
+      "  info        FILE\n"
+      "  export-pcap FILE OUT.pcap [--snaplen N]\n"
+      "  inject-ddos FILE --out FILE [--start S] [--duration S] [--pps N]\n"
+      "              [--on-off S] [--target-ip HEX]\n"
+      "  run         FILE --queries a,b,c [--k 0.5] [--strategy eq|cpu|pkt]\n"
+      "              [--shedder predictive|reactive|none] [--custom]\n"
+      "              [--oracle model|measured] [--bin-us N]\n"
+      "  queries     (list available queries and their default min rates)\n");
+  return 2;
+}
+
+// ------------------------------------------------------------- commands --
+
+int CmdGenerate(const Flags& flags) {
+  trace::TraceSpec spec = PresetByName(flags.Get("preset", "cesca2"));
+  spec.duration_s = flags.GetDouble("duration", spec.duration_s);
+  spec.seed = flags.GetU64("seed", spec.seed);
+  spec.flows_per_s = flags.GetDouble("flows-per-s", spec.flows_per_s);
+  spec.burstiness = flags.GetDouble("burstiness", spec.burstiness);
+  const std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  const trace::Trace t = trace::TraceGenerator(spec).Generate();
+  SaveTrace(t, out);
+  std::printf("wrote %zu packets (%.1f s of '%s') to %s\n", t.packets.size(),
+              spec.duration_s, spec.name.c_str(), out.c_str());
+  if (flags.Has("pcap")) {
+    const size_t n = trace::ExportPcap(t, flags.Get("pcap"));
+    std::printf("exported %zu frames to %s\n", n, flags.Get("pcap").c_str());
+  }
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "info: trace file required\n");
+    return 2;
+  }
+  const trace::Trace t = trace::LoadTrace(flags.positional()[0]);
+  uint64_t bytes = 0;
+  std::map<net::AppClass, size_t> apps;
+  std::map<uint32_t, uint64_t> talkers;
+  for (const auto& rec : t.packets) {
+    bytes += rec.wire_len;
+    ++apps[rec.app];
+    talkers[rec.tuple.src_ip] += rec.wire_len;
+  }
+  const double dur = static_cast<double>(t.duration_us()) * 1e-6;
+  std::printf("trace:    %s\n", t.spec.name.c_str());
+  std::printf("packets:  %zu (%.0f pkts/s)\n", t.packets.size(),
+              static_cast<double>(t.packets.size()) / dur);
+  std::printf("bytes:    %llu (%.2f Mb/s)\n", static_cast<unsigned long long>(bytes),
+              static_cast<double>(bytes) * 8.0 / dur / 1e6);
+  std::printf("duration: %.1f s\n\napplication mix (ground truth):\n", dur);
+  for (const auto& [app, count] : apps) {
+    std::printf("  %-10s %6.2f%%\n", std::string(net::AppClassName(app)).c_str(),
+                100.0 * static_cast<double>(count) / static_cast<double>(t.packets.size()));
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> top;
+  for (const auto& [ip, b] : talkers) {
+    top.emplace_back(b, ip);
+  }
+  std::sort(top.rbegin(), top.rend());
+  std::printf("\ntop talkers by bytes:\n");
+  for (size_t i = 0; i < top.size() && i < 5; ++i) {
+    std::printf("  %-16s %llu\n", net::Ipv4ToString(top[i].second).c_str(),
+                static_cast<unsigned long long>(top[i].first));
+  }
+  return 0;
+}
+
+int CmdExportPcap(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "export-pcap: input and output files required\n");
+    return 2;
+  }
+  const trace::Trace t = trace::LoadTrace(flags.positional()[0]);
+  const size_t n = trace::ExportPcap(t, flags.positional()[1],
+                                     static_cast<uint32_t>(flags.GetU64("snaplen", 0)));
+  std::printf("exported %zu frames to %s\n", n, flags.positional()[1].c_str());
+  return 0;
+}
+
+int CmdInjectDdos(const Flags& flags) {
+  if (flags.positional().empty() || !flags.Has("out")) {
+    std::fprintf(stderr, "inject-ddos: input file and --out required\n");
+    return 2;
+  }
+  trace::Trace t = trace::LoadTrace(flags.positional()[0]);
+  trace::DdosSpec ddos;
+  ddos.start_s = flags.GetDouble("start", 10.0);
+  ddos.duration_s = flags.GetDouble("duration", 5.0);
+  ddos.pps = flags.GetDouble("pps", 3000.0);
+  ddos.on_off_period_s = flags.GetDouble("on-off", 0.0);
+  if (flags.Has("target-ip")) {
+    ddos.target_ip = static_cast<uint32_t>(std::stoul(flags.Get("target-ip"), nullptr, 16));
+  }
+  InjectDdos(t, ddos, flags.GetU64("seed", 99));
+  SaveTrace(t, flags.Get("out"));
+  std::printf("injected DDoS (t=%.1f..%.1f s, %.0f pps) -> %s (%zu packets)\n",
+              ddos.start_s, ddos.start_s + ddos.duration_s, ddos.pps,
+              flags.Get("out").c_str(), t.packets.size());
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "run: trace file required\n");
+    return 2;
+  }
+  const trace::Trace t = trace::LoadTrace(flags.positional()[0]);
+  const std::vector<std::string> queries =
+      SplitCsv(flags.Get("queries", "counter,flows,application"));
+
+  core::RunSpec spec;
+  spec.system.time_bin_us = flags.GetU64("bin-us", 100'000);
+  const std::string shedder = flags.Get("shedder", "predictive");
+  spec.system.shedder = shedder == "reactive" ? core::ShedderKind::kReactive
+                        : shedder == "none"   ? core::ShedderKind::kNoShed
+                                              : core::ShedderKind::kPredictive;
+  const std::string strategy = flags.Get("strategy", "pkt");
+  spec.system.strategy = strategy == "eq"    ? shed::StrategyKind::kEqSrates
+                         : strategy == "cpu" ? shed::StrategyKind::kMmfsCpu
+                                             : shed::StrategyKind::kMmfsPkt;
+  spec.system.enable_custom_shedding = flags.Has("custom");
+  spec.oracle = flags.Get("oracle", "model") == "measured" ? core::OracleKind::kMeasured
+                                                           : core::OracleKind::kModel;
+  spec.query_names = queries;
+
+  const double k = flags.GetDouble("k", 0.5);
+  const double demand =
+      core::MeasureMeanDemand(queries, t, spec.oracle, spec.system.time_bin_us);
+  spec.system.cycles_per_bin = std::max(1.0, demand * (1.0 - k));
+
+  std::printf("running %zu queries at overload K=%.2f (capacity %.3g cycles/bin, %s)\n\n",
+              queries.size(), k, spec.system.cycles_per_bin,
+              spec.oracle == core::OracleKind::kMeasured ? "measured cycles"
+                                                         : "model cycles");
+  core::RunResult result = RunSystemOnTrace(spec, t);
+
+  util::Table table({"query", "min rate", "mean srate", "accuracy error"});
+  for (size_t q = 0; q < queries.size(); ++q) {
+    util::RunningStats rate;
+    for (const auto& bin : result.system->log()) {
+      if (q < bin.rate.size()) {
+        rate.Add(bin.rate[q]);
+      }
+    }
+    const auto acc = result.Accuracy(q);
+    table.AddRow({queries[q], util::Fmt(core::DefaultMinRate(queries[q]), 2),
+                  util::Fmt(rate.mean(), 2),
+                  util::FmtPercent(acc.mean_error, 2) + " ±" +
+                      util::Fmt(acc.stdev_error * 100.0, 2)});
+  }
+  table.Print(std::cout);
+  std::printf("\npackets: %llu in, %llu uncontrolled drops (%.2f%%)\n",
+              static_cast<unsigned long long>(result.system->total_packets()),
+              static_cast<unsigned long long>(result.system->total_dropped()),
+              100.0 * static_cast<double>(result.system->total_dropped()) /
+                  std::max<double>(1.0, static_cast<double>(result.system->total_packets())));
+  return 0;
+}
+
+int CmdQueries() {
+  util::Table table({"query", "default min rate (Table 5.2)", "preferred shedding"});
+  for (const auto& name : query::AllQueryNames()) {
+    const auto q = query::MakeQuery(name);
+    const bool custom = q->supports_custom_shedding();
+    table.AddRow({name, util::Fmt(core::DefaultMinRate(name), 2),
+                  std::string(q->preferred_sampling() == query::SamplingMethod::kFlow
+                                  ? "flow sampling"
+                                  : "packet sampling") +
+                      (custom ? " + custom" : "")});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  try {
+    if (command == "generate") {
+      return CmdGenerate(flags);
+    }
+    if (command == "info") {
+      return CmdInfo(flags);
+    }
+    if (command == "export-pcap") {
+      return CmdExportPcap(flags);
+    }
+    if (command == "inject-ddos") {
+      return CmdInjectDdos(flags);
+    }
+    if (command == "run") {
+      return CmdRun(flags);
+    }
+    if (command == "queries") {
+      return CmdQueries();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shedmon %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return Usage();
+}
