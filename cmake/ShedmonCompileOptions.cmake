@@ -1,0 +1,46 @@
+# Shared compile/link settings for every shedmon target, exposed through an
+# interface target so per-subsystem CMakeLists stay declarative.
+
+add_library(shedmon_compile_options INTERFACE)
+add_library(shedmon::compile_options ALIAS shedmon_compile_options)
+
+target_include_directories(shedmon_compile_options INTERFACE
+  ${PROJECT_SOURCE_DIR})
+
+target_compile_options(shedmon_compile_options INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra>)
+
+if(SHEDMON_WERROR)
+  target_compile_options(shedmon_compile_options INTERFACE
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>)
+endif()
+
+if(SHEDMON_SANITIZE)
+  string(REPLACE "," ";" shedmon_san_list "${SHEDMON_SANITIZE}")
+  foreach(san IN LISTS shedmon_san_list)
+    if(NOT san MATCHES "^(address|undefined|leak|thread|memory)$")
+      message(FATAL_ERROR "Unknown sanitizer in SHEDMON_SANITIZE: ${san}")
+    endif()
+    target_compile_options(shedmon_compile_options INTERFACE
+      -fsanitize=${san} -fno-omit-frame-pointer)
+    target_link_options(shedmon_compile_options INTERFACE -fsanitize=${san})
+  endforeach()
+endif()
+
+# shedmon_add_library(<name> <source...> [DEPS <target...>])
+#
+# Declares one static library per subsystem plus a shedmon::<name> alias.
+# DEPS are PUBLIC so the link graph mirrors the include graph.
+function(shedmon_add_library name)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+  add_library(${name} STATIC ${ARG_UNPARSED_ARGUMENTS})
+  add_library(shedmon::${name} ALIAS ${name})
+  target_link_libraries(${name} PUBLIC shedmon::compile_options ${ARG_DEPS})
+endfunction()
+
+# shedmon_add_executable(<name> <source...> [DEPS <target...>])
+function(shedmon_add_executable name)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+  add_executable(${name} ${ARG_UNPARSED_ARGUMENTS})
+  target_link_libraries(${name} PRIVATE shedmon::compile_options ${ARG_DEPS})
+endfunction()

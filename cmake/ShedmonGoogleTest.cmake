@@ -1,0 +1,28 @@
+# GoogleTest acquisition: system package first (works fully offline, covers
+# distro containers with libgtest-dev), FetchContent of a pinned release as
+# the fallback. Plain find_package-then-fetch keeps this working on CMake
+# 3.20 (FetchContent's FIND_PACKAGE_ARGS integration would need 3.24).
+
+include(GoogleTest)
+
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+  set(SHEDMON_GTEST_TAG v1.14.0 CACHE STRING "GoogleTest tag for FetchContent")
+
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    GIT_REPOSITORY https://github.com/google/googletest.git
+    GIT_TAG ${SHEDMON_GTEST_TAG})
+
+  # We only need the libraries, never install rules.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+
+  FetchContent_MakeAvailable(googletest)
+
+  # The in-tree build exports plain target names; normalise to GTest::.
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
