@@ -1,17 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the per-packet primitives whose
 // "deterministic worst-case cost" the paper's design relies on (§3.2.1):
-// H3 hashing, bitmap counting, feature extraction, FCBF + MLR fitting,
-// samplers, Boyer-Moore and the allocation strategies.
+// H3 hashing (fused and per-aggregate), bitmap counting, feature extraction,
+// FCBF + MLR fitting, samplers, Boyer-Moore, the allocation strategies, and
+// a whole-pipeline packets/sec run.
+//
+// Run with --benchmark_out=<file> --benchmark_out_format=json to produce the
+// machine-readable results that BENCH_*.json baselines are built from (see
+// tools/make_bench_baseline.py and the "Performance" section of README.md).
 
 #include <benchmark/benchmark.h>
 
+#include "src/core/cost.h"
+#include "src/core/system.h"
 #include "src/features/extractor.h"
 #include "src/predict/fcbf.h"
 #include "src/predict/predictors.h"
 #include "src/query/boyer_moore.h"
+#include "src/query/queries.h"
 #include "src/shed/sampler.h"
 #include "src/shed/strategy.h"
 #include "src/sketch/bitmap.h"
+#include "src/sketch/fused_hash.h"
 #include "src/sketch/h3.h"
 #include "src/trace/batch.h"
 #include "src/trace/generator.h"
@@ -53,6 +62,49 @@ void BM_H3Hash(benchmark::State& state) {
 }
 BENCHMARK(BM_H3Hash);
 
+// A/B pair for the fused hot path: all ten per-aggregate hashes of a packet
+// computed in one fused table pass vs. the pre-fusion reference (key
+// materialization + one H3 walk per aggregate). Identical outputs; the ratio
+// is the point.
+void BM_FusedAggregateHash(benchmark::State& state) {
+  const sketch::FusedTupleHasher fused = features::MakeAggregateHasher(0x5eed);
+  const auto& packets = SharedBatch().packets;
+  std::array<uint64_t, features::kNumAggregates> h{};
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto key = packets[i % packets.size()].rec->tuple.Bytes();
+    fused.HashAllFixed<13, features::kNumAggregates>(key.data(), h);
+    benchmark::DoNotOptimize(h);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FusedAggregateHash);
+
+void BM_UnfusedAggregateHash(benchmark::State& state) {
+  std::vector<sketch::H3Hash> hashes;
+  for (int a = 0; a < features::kNumAggregates; ++a) {
+    hashes.emplace_back(
+        features::AggregateHashSeed(0x5eed, static_cast<features::Aggregate>(a)));
+  }
+  const auto& packets = SharedBatch().packets;
+  std::array<uint64_t, features::kNumAggregates> h{};
+  uint8_t key[13];
+  size_t i = 0;
+  for (auto _ : state) {
+    const net::FiveTuple& t = packets[i % packets.size()].rec->tuple;
+    for (int a = 0; a < features::kNumAggregates; ++a) {
+      const size_t len =
+          features::AggregateKey(t, static_cast<features::Aggregate>(a), key);
+      h[static_cast<size_t>(a)] = hashes[static_cast<size_t>(a)].Hash(key, len);
+    }
+    benchmark::DoNotOptimize(h);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnfusedAggregateHash);
+
 void BM_MultiResBitmapInsert(benchmark::State& state) {
   sketch::MultiResBitmap bitmap;
   util::Rng rng(2);
@@ -84,6 +136,19 @@ void BM_FeatureExtraction(benchmark::State& state) {
                           static_cast<int64_t>(packets.size()));
 }
 BENCHMARK(BM_FeatureExtraction);
+
+// The pre-fusion extraction path, kept as the regression reference for the
+// fused Extract (BM_FeatureExtraction above).
+void BM_FeatureExtractionUnfused(benchmark::State& state) {
+  features::FeatureExtractor extractor;
+  const auto& packets = SharedBatch().packets;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.ExtractReference(packets));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_FeatureExtractionUnfused);
 
 void BM_MlrFitAndPredict(benchmark::State& state) {
   predict::MlrPredictor::Config cfg;
@@ -145,6 +210,34 @@ void BM_FlowSampler(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowSampler);
 
+// In-place sampling into a reused caller-owned buffer: the per-bin path of
+// MonitoringSystem::ExecuteQuery, which allocates nothing after warm-up.
+void BM_PacketSamplerInto(benchmark::State& state) {
+  shed::PacketSampler sampler(6);
+  const auto& packets = SharedBatch().packets;
+  trace::PacketVec out;
+  for (auto _ : state) {
+    sampler.SampleInto(packets, 0.5, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_PacketSamplerInto);
+
+void BM_FlowSamplerInto(benchmark::State& state) {
+  shed::FlowSampler sampler(7);
+  const auto& packets = SharedBatch().packets;
+  trace::PacketVec out;
+  for (auto _ : state) {
+    sampler.SampleInto(packets, 0.5, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_FlowSamplerInto);
+
 void BM_BoyerMoore(benchmark::State& state) {
   const query::BoyerMoore matcher("GET / HTTP/1.1");
   std::vector<uint8_t> text(1460);
@@ -175,6 +268,31 @@ void BM_MmfsAllocation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MmfsAllocation)->Arg(8)->Arg(64);
+
+// Whole-pipeline throughput: batching, prediction-stage extraction, shedding
+// and two standard queries over the shared trace, under the deterministic
+// model oracle. The items/sec figure is end-to-end packets per second of the
+// monitoring system, the number the paper's "negligible shedder overhead"
+// claim cashes out to.
+void BM_PipelinePackets(benchmark::State& state) {
+  const trace::Trace& trace = SharedTrace();
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    core::MonitoringSystem system(cfg, core::MakeOracle(core::OracleKind::kModel));
+    system.AddQuery(query::MakeQuery("counter"));
+    system.AddQuery(query::MakeQuery("flows"));
+    trace::Batcher batcher(trace, cfg.time_bin_us);
+    trace::Batch batch;
+    while (batcher.Next(batch)) {
+      system.ProcessBatch(batch);
+    }
+    system.Finish();
+    benchmark::DoNotOptimize(system.total_packets());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.packets.size()));
+}
+BENCHMARK(BM_PipelinePackets)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

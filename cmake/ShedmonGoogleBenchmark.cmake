@@ -1,0 +1,30 @@
+# Google Benchmark acquisition for bench_micro: system package first (works
+# fully offline, covers distro containers with libbenchmark-dev), FetchContent
+# of a pinned release as the fallback — the same treatment gtest gets in
+# ShedmonGoogleTest.cmake, so bench_micro always builds instead of being
+# silently skipped.
+
+find_package(benchmark QUIET)
+
+if(NOT TARGET benchmark::benchmark)
+  set(SHEDMON_BENCHMARK_TAG v1.8.3 CACHE STRING "Google Benchmark tag for FetchContent")
+
+  include(FetchContent)
+  FetchContent_Declare(googlebenchmark
+    GIT_REPOSITORY https://github.com/google/benchmark.git
+    GIT_TAG ${SHEDMON_BENCHMARK_TAG})
+
+  # Library only: no benchmark self-tests (which would drag in gtest), no
+  # install rules, and don't let its -Werror break our build.
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_WERROR OFF CACHE BOOL "" FORCE)
+
+  FetchContent_MakeAvailable(googlebenchmark)
+
+  # The in-tree build exports the plain `benchmark` target; normalise.
+  if(NOT TARGET benchmark::benchmark)
+    add_library(benchmark::benchmark ALIAS benchmark)
+  endif()
+endif()

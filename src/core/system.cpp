@@ -35,7 +35,7 @@ query::Query& MonitoringSystem::AddQuery(std::unique_ptr<query::Query> query,
       std::move(query), config,
       predict::PredictionEngine(config_.predictor, config_.extractor),
       shed::PacketSampler(rng_.NextU64()), shed::FlowSampler(rng_.NextU64()),
-      shed::EnforcementPolicy(config_.enforcement), 0, 0.0});
+      shed::EnforcementPolicy(config_.enforcement), 0, 0.0, {}});
   queries_.push_back(std::move(runtime));
   return *queries_.back()->query;
 }
@@ -95,17 +95,16 @@ double MonitoringSystem::ExecuteQuery(QueryRuntime& qr, const trace::Batch& batc
                                       BinLog& log) {
   rate = std::clamp(rate, 0.0, 1.0);
   const trace::PacketVec* packets = &batch.packets;
-  trace::PacketVec sampled;
   if (rate < 1.0 - kEps) {
     WorkHint sample_hint{qr.query.get(), &batch.packets, 0.0};
     log.ls_cycles += oracle_->Run(WorkKind::kSampling, sample_hint, [&] {
       if (qr.query->preferred_sampling() == query::SamplingMethod::kFlow) {
-        sampled = qr.flow_sampler.Sample(batch.packets, rate);
+        qr.flow_sampler.SampleInto(batch.packets, rate, qr.sample_buf);
       } else {
-        sampled = qr.pkt_sampler.Sample(batch.packets, rate);
+        qr.pkt_sampler.SampleInto(batch.packets, rate, qr.sample_buf);
       }
     });
-    packets = &sampled;
+    packets = &qr.sample_buf;
   }
 
   // Re-extract features on the batch the query actually processes so the
@@ -147,6 +146,9 @@ double MonitoringSystem::ExecuteQuery(QueryRuntime& qr, const trace::Batch& batc
   log.packets_unsampled +=
       (static_cast<double>(batch.size()) - static_cast<double>(packets->size())) /
       std::max<double>(1.0, static_cast<double>(queries_.size()));
+  // Drop the sampled view before the batch (and its payload arena) can be
+  // recycled; the buffer keeps its capacity for the next bin.
+  qr.sample_buf.clear();
   qr.last_cycles = used;
   return used;
 }

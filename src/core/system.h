@@ -137,6 +137,12 @@ class MonitoringSystem {
     shed::EnforcementPolicy enforcement;
     size_t bins_in_interval = 0;
     double last_cycles = 0.0;  // previous bin's consumption (reactive)
+    // Reusable buffer the samplers write into: sampling a batch stops
+    // allocating once the buffer has grown to the query's working set.
+    // Valid only within ExecuteQuery's bin — its Packets point into the
+    // current Batch's arena — so it is cleared (capacity kept) before
+    // ExecuteQuery returns and must never be read between bins.
+    trace::PacketVec sample_buf;
   };
 
   void RunPredictive(const trace::Batch& batch, BinLog& log);

@@ -7,7 +7,7 @@ namespace shedmon::features {
 namespace {
 template <size_t... I>
 std::array<sketch::H3Hash, sizeof...(I)> MakeHashes(uint64_t seed, std::index_sequence<I...>) {
-  return {sketch::H3Hash(seed + 0x9e37 * (I + 1))...};
+  return {sketch::H3Hash(AggregateHashSeed(seed, static_cast<Aggregate>(I)))...};
 }
 
 std::array<sketch::MultiResBitmap, kNumAggregates> MakeBitmaps(const FeatureExtractor::Config& c) {
@@ -30,7 +30,7 @@ FeatureExtractor::FeatureExtractor() : FeatureExtractor(Config()) {}
 
 FeatureExtractor::FeatureExtractor(const Config& config)
     : config_(config),
-      hashes_(MakeHashes(config.seed, std::make_index_sequence<kNumAggregates>())),
+      fused_(MakeAggregateHasher(config.seed)),
       batch_bm_(MakeBitmaps(config)),
       interval_bm_(MakeBitmaps(config)) {}
 
@@ -41,7 +41,58 @@ void FeatureExtractor::StartInterval() {
 }
 
 FeatureVector FeatureExtractor::Extract(const trace::PacketVec& packets) {
-  FeatureVector f{};
+  double bytes = 0.0;
+  for (auto& bm : batch_bm_) {
+    bm.Clear();
+  }
+
+  // Size the batch-local tuple set to keep the load factor under one half.
+  size_t cap = 64;
+  while (cap < 2 * packets.size()) {
+    cap <<= 1;
+  }
+  if (seen_.size() < cap) {
+    seen_.assign(cap, DedupeSlot{});
+  }
+  const size_t mask = seen_.size() - 1;
+  const uint64_t epoch = ++seen_epoch_;
+  const net::FiveTupleHash fingerprint;
+
+  std::array<uint64_t, kNumAggregates> h;
+  for (const net::Packet& pkt : packets) {
+    bytes += pkt.rec->wire_len;
+    const net::FiveTuple& t = pkt.rec->tuple;
+
+    size_t idx = fingerprint(t) & mask;
+    bool repeated = false;
+    while (seen_[idx].epoch == epoch) {
+      if (seen_[idx].tuple == t) {
+        repeated = true;
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+    if (repeated) {
+      continue;  // every aggregate key of this packet is already counted
+    }
+    seen_[idx].epoch = epoch;
+    seen_[idx].tuple = t;
+
+    const auto key = t.Bytes();
+    fused_.HashAllFixed<13, kNumAggregates>(key.data(), h);
+    for (size_t a = 0; a < kNumAggregates; ++a) {
+      batch_bm_[a].Insert(h[a]);
+    }
+  }
+  return Finalize(static_cast<double>(packets.size()), bytes);
+}
+
+FeatureVector FeatureExtractor::ExtractReference(const trace::PacketVec& packets) {
+  if (!ref_hashes_) {
+    ref_hashes_ = std::make_unique<std::array<sketch::H3Hash, kNumAggregates>>(
+        MakeHashes(config_.seed, std::make_index_sequence<kNumAggregates>()));
+  }
+  const auto& hashes = *ref_hashes_;
   double bytes = 0.0;
   for (auto& bm : batch_bm_) {
     bm.Clear();
@@ -53,12 +104,15 @@ FeatureVector FeatureExtractor::Extract(const trace::PacketVec& packets) {
     const net::FiveTuple& t = pkt.rec->tuple;
     for (int a = 0; a < kNumAggregates; ++a) {
       const size_t len = AggregateKey(t, static_cast<Aggregate>(a), key);
-      const uint64_t h = hashes_[static_cast<size_t>(a)].Hash(key, len);
+      const uint64_t h = hashes[static_cast<size_t>(a)].Hash(key, len);
       batch_bm_[static_cast<size_t>(a)].Insert(h);
     }
   }
+  return Finalize(static_cast<double>(packets.size()), bytes);
+}
 
-  const double pkts = static_cast<double>(packets.size());
+FeatureVector FeatureExtractor::Finalize(double pkts, double bytes) {
+  FeatureVector f{};
   f[kFeatPackets] = pkts;
   f[kFeatBytes] = bytes;
 

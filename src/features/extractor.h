@@ -2,9 +2,11 @@
 
 #include <array>
 #include <memory>
+#include <vector>
 
 #include "src/features/features.h"
 #include "src/sketch/bitmap.h"
+#include "src/sketch/fused_hash.h"
 #include "src/sketch/h3.h"
 #include "src/trace/batch.h"
 
@@ -13,8 +15,9 @@ namespace shedmon::features {
 // Extracts the 42-feature vector from a batch of packets using
 // multi-resolution bitmaps (§3.2.1): one bitmap per aggregate for the batch
 // ("unique") and one persisting across the measurement interval ("new", via
-// the bitwise-OR merge). Worst-case per-packet cost is deterministic: ten H3
-// hashes and ten bitmap inserts.
+// the bitwise-OR merge). Worst-case per-packet cost is deterministic: one
+// fused table pass yielding all ten per-aggregate H3 hashes, plus ten bitmap
+// inserts.
 class FeatureExtractor {
  public:
   struct Config {
@@ -31,16 +34,43 @@ class FeatureExtractor {
   void StartInterval();
 
   // Computes the feature vector for the given packets and folds their keys
-  // into the interval state.
+  // into the interval state. Uses the fused one-pass hasher, and skips the
+  // hash-and-insert work entirely for packets whose 5-tuple already appeared
+  // in this batch: all ten bitmaps are set-based, so re-inserting a seen key
+  // cannot change any counter, and the packet/byte totals are accumulated
+  // independently. Output is bit-identical to ExtractReference.
   FeatureVector Extract(const trace::PacketVec& packets);
+
+  // Pre-fusion reference implementation: per-aggregate key materialization
+  // and one H3 hash per aggregate per packet. Bit-identical to Extract();
+  // kept for the equivalence tests and the fused-vs-unfused benchmark A/B.
+  FeatureVector ExtractReference(const trace::PacketVec& packets);
 
   const Config& config() const { return config_; }
 
  private:
+  // Counter computation + interval fold shared by both extraction paths.
+  FeatureVector Finalize(double pkts, double bytes);
+
+  // Open-addressing batch-local tuple set, epoch-stamped so it is reset by
+  // bumping a counter instead of clearing the table. Worst case (all tuples
+  // distinct) stays the deterministic hash+insert bound; repeated tuples
+  // cost one probe.
+  struct DedupeSlot {
+    uint64_t epoch = 0;
+    net::FiveTuple tuple;
+  };
+
   Config config_;
-  std::array<sketch::H3Hash, kNumAggregates> hashes_;
+  sketch::FusedTupleHasher fused_;
+  // Per-aggregate H3 functions of the reference path, built on first
+  // ExtractReference call: production extractors never pay for the ten
+  // seeded tables only the tests and the benchmark A/B read.
+  std::unique_ptr<std::array<sketch::H3Hash, kNumAggregates>> ref_hashes_;
   std::array<sketch::MultiResBitmap, kNumAggregates> batch_bm_;
   std::array<sketch::MultiResBitmap, kNumAggregates> interval_bm_;
+  std::vector<DedupeSlot> seen_;
+  uint64_t seen_epoch_ = 0;
 };
 
 }  // namespace shedmon::features

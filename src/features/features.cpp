@@ -1,6 +1,7 @@
 #include "src/features/features.h"
 
 #include <cstring>
+#include <vector>
 
 namespace shedmon::features {
 
@@ -70,6 +71,59 @@ std::string_view FeatureName(int index) {
     return "invalid";
   }
   return AllNames()[static_cast<size_t>(index)];
+}
+
+namespace {
+// Positions inside FiveTuple::Bytes(): src_ip 0-3, dst_ip 4-7, src_port 8-9,
+// dst_port 10-11, proto 12 — mirroring the memcpy layout of AggregateKey.
+constexpr uint8_t kSrcIpBytes[] = {0, 1, 2, 3};
+constexpr uint8_t kDstIpBytes[] = {4, 5, 6, 7};
+constexpr uint8_t kProtoBytes[] = {12};
+constexpr uint8_t kSrcDstIpBytes[] = {0, 1, 2, 3, 4, 5, 6, 7};
+constexpr uint8_t kSrcPortProtoBytes[] = {8, 9, 12};
+constexpr uint8_t kDstPortProtoBytes[] = {10, 11, 12};
+constexpr uint8_t kSrcIpSrcPortProtoBytes[] = {0, 1, 2, 3, 8, 9, 12};
+constexpr uint8_t kDstIpDstPortProtoBytes[] = {4, 5, 6, 7, 10, 11, 12};
+constexpr uint8_t kSrcDstPortProtoBytes[] = {8, 9, 10, 11, 12};
+constexpr uint8_t kFiveTupleBytes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+}  // namespace
+
+std::span<const uint8_t> AggregateByteIndices(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kSrcIp:
+      return kSrcIpBytes;
+    case Aggregate::kDstIp:
+      return kDstIpBytes;
+    case Aggregate::kProto:
+      return kProtoBytes;
+    case Aggregate::kSrcDstIp:
+      return kSrcDstIpBytes;
+    case Aggregate::kSrcPortProto:
+      return kSrcPortProtoBytes;
+    case Aggregate::kDstPortProto:
+      return kDstPortProtoBytes;
+    case Aggregate::kSrcIpSrcPortProto:
+      return kSrcIpSrcPortProtoBytes;
+    case Aggregate::kDstIpDstPortProto:
+      return kDstIpDstPortProtoBytes;
+    case Aggregate::kSrcDstPortProto:
+      return kSrcDstPortProtoBytes;
+    case Aggregate::kFiveTuple:
+      return kFiveTupleBytes;
+  }
+  return {};
+}
+
+sketch::FusedTupleHasher MakeAggregateHasher(uint64_t base_seed) {
+  std::vector<sketch::FusedTupleHasher::SubHash> subs;
+  subs.reserve(kNumAggregates);
+  for (int a = 0; a < kNumAggregates; ++a) {
+    const auto agg = static_cast<Aggregate>(a);
+    const auto bytes = AggregateByteIndices(agg);
+    subs.push_back({AggregateHashSeed(base_seed, agg),
+                    std::vector<uint8_t>(bytes.begin(), bytes.end())});
+  }
+  return sketch::FusedTupleHasher(13, subs);
 }
 
 size_t AggregateKey(const net::FiveTuple& t, Aggregate agg, uint8_t out[13]) {

@@ -2,9 +2,11 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "src/net/packet.h"
+#include "src/sketch/fused_hash.h"
 
 namespace shedmon::features {
 
@@ -51,5 +53,22 @@ std::string_view AggregateName(Aggregate agg);
 
 // Serializes the aggregate's key bytes for a tuple; returns the key length.
 size_t AggregateKey(const net::FiveTuple& tuple, Aggregate agg, uint8_t out[13]);
+
+// Byte positions of the aggregate's key inside the canonical 13-byte
+// FiveTuple::Bytes() serialization, in AggregateKey order. Every aggregate
+// key is a subsequence of the canonical serialization, which is what lets
+// the fused hasher compute all ten per-aggregate hashes in one pass.
+std::span<const uint8_t> AggregateByteIndices(Aggregate agg);
+
+// Seed of the aggregate's H3 function, derived from the extractor's base
+// seed. Single source of truth for the fused and per-aggregate paths.
+constexpr uint64_t AggregateHashSeed(uint64_t base_seed, Aggregate agg) {
+  return base_seed + 0x9e37 * (static_cast<uint64_t>(agg) + 1);
+}
+
+// One-pass hasher producing all kNumAggregates hash values of a tuple's
+// canonical serialization, bit-identical to hashing AggregateKey(t, a) with
+// H3Hash(AggregateHashSeed(base_seed, a)) for each aggregate a.
+sketch::FusedTupleHasher MakeAggregateHasher(uint64_t base_seed);
 
 }  // namespace shedmon::features

@@ -1,43 +1,72 @@
 #include "src/shed/sampler.h"
 
+#include <algorithm>
+
 namespace shedmon::shed {
 
-trace::PacketVec PacketSampler::Sample(const trace::PacketVec& in, double rate) {
+namespace {
+// Capacity hint for the kept set: generous enough that a realloc mid-loop is
+// rare even when the batch is bursty, never more than the full batch.
+size_t ReserveHint(size_t in_size, double rate) {
+  const size_t want =
+      static_cast<size_t>(static_cast<double>(in_size) * rate * 1.25) + 16;
+  return std::min(in_size, want);
+}
+}  // namespace
+
+void PacketSampler::SampleInto(const trace::PacketVec& in, double rate,
+                               trace::PacketVec& out) {
   if (rate >= 1.0) {
-    return in;
+    out = in;
+    return;
   }
-  trace::PacketVec out;
+  out.clear();
   if (rate <= 0.0) {
-    return out;
+    return;
   }
-  out.reserve(static_cast<size_t>(static_cast<double>(in.size()) * rate * 1.2) + 8);
+  out.reserve(ReserveHint(in.size(), rate));
   for (const net::Packet& pkt : in) {
     if (rng_.NextDouble() < rate) {
       out.push_back(pkt);
     }
   }
+}
+
+trace::PacketVec PacketSampler::Sample(const trace::PacketVec& in, double rate) {
+  trace::PacketVec out;
+  SampleInto(in, rate, out);
   return out;
 }
 
-FlowSampler::FlowSampler(uint64_t seed) : hash_(seed) {}
+FlowSampler::FlowSampler(uint64_t seed)
+    : hash_(13, {{seed, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}}) {}
 
-void FlowSampler::Reseed(uint64_t seed) { hash_ = sketch::H3Hash(seed); }
+void FlowSampler::Reseed(uint64_t seed) {
+  hash_ = sketch::FusedTupleHasher(13, {{seed, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}});
+}
 
-trace::PacketVec FlowSampler::Sample(const trace::PacketVec& in, double rate) const {
+void FlowSampler::SampleInto(const trace::PacketVec& in, double rate,
+                             trace::PacketVec& out) const {
   if (rate >= 1.0) {
-    return in;
+    out = in;
+    return;
   }
-  trace::PacketVec out;
+  out.clear();
   if (rate <= 0.0) {
-    return out;
+    return;
   }
-  out.reserve(static_cast<size_t>(static_cast<double>(in.size()) * rate * 1.2) + 8);
+  out.reserve(ReserveHint(in.size(), rate));
   for (const net::Packet& pkt : in) {
     const auto key = pkt.rec->tuple.Bytes();
-    if (hash_.HashUnit(key.data(), key.size()) < rate) {
+    if (hash_.HashUnit1Fixed<13>(key.data()) < rate) {
       out.push_back(pkt);
     }
   }
+}
+
+trace::PacketVec FlowSampler::Sample(const trace::PacketVec& in, double rate) const {
+  trace::PacketVec out;
+  SampleInto(in, rate, out);
   return out;
 }
 

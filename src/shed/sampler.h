@@ -2,7 +2,7 @@
 
 #include <cstdint>
 
-#include "src/sketch/h3.h"
+#include "src/sketch/fused_hash.h"
 #include "src/trace/batch.h"
 #include "src/util/rng.h"
 
@@ -14,6 +14,13 @@ class PacketSampler {
  public:
   explicit PacketSampler(uint64_t seed) : rng_(seed) {}
 
+  // In-place API: clears `out` (capacity is kept, so a caller-owned buffer
+  // reused across bins stops allocating after warm-up) and appends the kept
+  // packets. Consumes the same RNG sequence as the copying overload, so both
+  // APIs select identical packet sets for identical seeds and rates.
+  void SampleInto(const trace::PacketVec& in, double rate, trace::PacketVec& out);
+
+  // Copying convenience API; allocates a fresh vector per call.
   trace::PacketVec Sample(const trace::PacketVec& in, double rate);
 
  private:
@@ -23,17 +30,23 @@ class PacketSampler {
 // Flowwise sampling ([43] + §4.2): a packet is kept iff the H3 hash of its
 // 5-tuple falls below the sampling rate, so entire flows are kept or dropped
 // coherently without caching flow keys. The hash function is redrawn every
-// measurement interval to avoid bias and deliberate evasion.
+// measurement interval to avoid bias and deliberate evasion. The hash is a
+// single-sub-hash FusedTupleHasher over the canonical 13-byte serialization,
+// bit-identical to the H3Hash it replaces.
 class FlowSampler {
  public:
   explicit FlowSampler(uint64_t seed);
 
   void Reseed(uint64_t seed);
 
+  // In-place API; see PacketSampler::SampleInto. Selection is a pure
+  // function of (seed, tuple, rate), so both APIs always agree.
+  void SampleInto(const trace::PacketVec& in, double rate, trace::PacketVec& out) const;
+
   trace::PacketVec Sample(const trace::PacketVec& in, double rate) const;
 
  private:
-  sketch::H3Hash hash_;
+  sketch::FusedTupleHasher hash_;
 };
 
 }  // namespace shedmon::shed

@@ -1,10 +1,22 @@
 #include "src/sketch/bitmap.h"
 
-#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 namespace shedmon::sketch {
+
+namespace {
+// Linear counting over one bitmap of `bits` bits with `set` bits set; the
+// saturated case returns the (large) estimate for one remaining zero bit.
+double LinearCount(uint32_t bits, uint32_t set) {
+  const uint32_t zeros = bits - set;
+  if (zeros == 0) {
+    return static_cast<double>(bits) * std::log(static_cast<double>(bits));
+  }
+  return -static_cast<double>(bits) *
+         std::log(static_cast<double>(zeros) / static_cast<double>(bits));
+}
+}  // namespace
 
 DirectBitmap::DirectBitmap(uint32_t bits) : size_bits_(bits), mask_(bits - 1) {
   if (bits == 0 || (bits & (bits - 1)) != 0) {
@@ -13,30 +25,7 @@ DirectBitmap::DirectBitmap(uint32_t bits) : size_bits_(bits), mask_(bits - 1) {
   words_.resize((bits + 63) / 64, 0);
 }
 
-void DirectBitmap::Insert(uint64_t hash) {
-  const uint32_t bit = static_cast<uint32_t>(hash) & mask_;
-  uint64_t& word = words_[bit >> 6];
-  const uint64_t m = 1ULL << (bit & 63);
-  if ((word & m) == 0) {
-    word |= m;
-    ++bits_set_;
-  }
-}
-
-bool DirectBitmap::Test(uint64_t hash) const {
-  const uint32_t bit = static_cast<uint32_t>(hash) & mask_;
-  return (words_[bit >> 6] & (1ULL << (bit & 63))) != 0;
-}
-
-double DirectBitmap::Estimate() const {
-  const uint32_t zeros = size_bits_ - bits_set_;
-  if (zeros == 0) {
-    // Saturated; return the (large) estimate for one remaining zero bit.
-    return static_cast<double>(size_bits_) * std::log(static_cast<double>(size_bits_));
-  }
-  return -static_cast<double>(size_bits_) *
-         std::log(static_cast<double>(zeros) / static_cast<double>(size_bits_));
-}
+double DirectBitmap::Estimate() const { return LinearCount(size_bits_, bits_set_); }
 
 void DirectBitmap::Clear() {
   for (auto& w : words_) {
@@ -56,46 +45,34 @@ void DirectBitmap::Union(const DirectBitmap& other) {
   }
 }
 
-MultiResBitmap::MultiResBitmap(uint32_t components, uint32_t component_bits) {
-  if (components < 2 || components > 30) {
+MultiResBitmap::MultiResBitmap(uint32_t components, uint32_t component_bits)
+    : components_(components),
+      component_bits_(component_bits),
+      comp_words_((component_bits + 63) / 64),
+      mask_(component_bits - 1) {
+  if (components < 2 || components > kMaxComponents) {
     throw std::invalid_argument("MultiResBitmap components out of range");
   }
-  comps_.reserve(components);
-  for (uint32_t i = 0; i < components; ++i) {
-    comps_.emplace_back(component_bits);
+  if (component_bits == 0 || (component_bits & (component_bits - 1)) != 0) {
+    throw std::invalid_argument("MultiResBitmap component size must be a power of two");
   }
+  words_.assign(static_cast<size_t>(components_) * comp_words_, 0);
+  bits_set_.assign(components_, 0);
 }
 
-uint32_t MultiResBitmap::ComponentFor(uint64_t hash) const {
-  // Leading ones of the top bits give a geometric component choice:
-  // P(component i) = 2^-(i+1), capped at the last component.
-  const uint32_t c = static_cast<uint32_t>(comps_.size());
-  const int ones = std::countl_one(hash);
-  const uint32_t comp = static_cast<uint32_t>(ones);
-  return comp < c - 1 ? comp : c - 1;
-}
-
-void MultiResBitmap::Insert(uint64_t hash) {
-  const uint32_t comp = ComponentFor(hash);
-  // Use low bits for the position inside the component; they are independent
-  // of the leading-ones pattern for any reasonable component count.
-  comps_[comp].Insert(hash);
-}
-
-double MultiResBitmap::Estimate() const {
-  const uint32_t c = static_cast<uint32_t>(comps_.size());
+double MultiResBitmap::EstimateFrom(const uint32_t* bits_set) const {
+  const uint32_t c = components_;
   // First component whose occupancy is trustworthy.
+  const uint32_t setmax =
+      static_cast<uint32_t>(kSetMaxFraction * static_cast<double>(component_bits_));
   uint32_t base = 0;
-  while (base + 1 < c &&
-         comps_[base].bits_set() >
-             static_cast<uint32_t>(kSetMaxFraction *
-                                   static_cast<double>(comps_[base].size_bits()))) {
+  while (base + 1 < c && bits_set[base] > setmax) {
     ++base;
   }
   double estimate_sum = 0.0;
   double probability_sum = 0.0;
   for (uint32_t i = base; i < c; ++i) {
-    estimate_sum += comps_[i].Estimate();
+    estimate_sum += LinearCount(component_bits_, bits_set[i]);
     const double p = (i < c - 1) ? std::ldexp(1.0, -static_cast<int>(i + 1))
                                  : std::ldexp(1.0, -static_cast<int>(c - 1));
     probability_sum += p;
@@ -106,26 +83,50 @@ double MultiResBitmap::Estimate() const {
   return estimate_sum / probability_sum;
 }
 
+double MultiResBitmap::Estimate() const { return EstimateFrom(bits_set_.data()); }
+
 void MultiResBitmap::Clear() {
-  for (auto& comp : comps_) {
-    comp.Clear();
+  for (auto& w : words_) {
+    w = 0;
+  }
+  for (auto& s : bits_set_) {
+    s = 0;
   }
 }
 
 void MultiResBitmap::Union(const MultiResBitmap& other) {
-  if (other.comps_.size() != comps_.size()) {
+  if (other.components_ != components_ || other.component_bits_ != component_bits_) {
     throw std::invalid_argument("MultiResBitmap::Union shape mismatch");
   }
-  for (size_t i = 0; i < comps_.size(); ++i) {
-    comps_[i].Union(other.comps_[i]);
+  for (uint32_t comp = 0; comp < components_; ++comp) {
+    uint32_t set = 0;
+    const size_t off = static_cast<size_t>(comp) * comp_words_;
+    for (uint32_t w = 0; w < comp_words_; ++w) {
+      words_[off + w] |= other.words_[off + w];
+      set += static_cast<uint32_t>(std::popcount(words_[off + w]));
+    }
+    bits_set_[comp] = set;
   }
 }
 
 double MultiResBitmap::CountNew(const MultiResBitmap& other) const {
-  MultiResBitmap merged = *this;
-  merged.Union(other);
-  const double before = Estimate();
-  const double after = merged.Estimate();
+  if (other.components_ != components_ || other.component_bits_ != component_bits_) {
+    throw std::invalid_argument("MultiResBitmap::CountNew shape mismatch");
+  }
+  // Occupancy of (this | other) per component, without building the merged
+  // bitmap: CountNew runs once per aggregate per batch and used to be the
+  // only allocating operation left in the extraction path.
+  uint32_t merged[kMaxComponents];
+  for (uint32_t comp = 0; comp < components_; ++comp) {
+    uint32_t set = 0;
+    const size_t off = static_cast<size_t>(comp) * comp_words_;
+    for (uint32_t w = 0; w < comp_words_; ++w) {
+      set += static_cast<uint32_t>(std::popcount(words_[off + w] | other.words_[off + w]));
+    }
+    merged[comp] = set;
+  }
+  const double before = EstimateFrom(bits_set_.data());
+  const double after = EstimateFrom(merged);
   return after > before ? after - before : 0.0;
 }
 

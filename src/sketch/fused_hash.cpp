@@ -1,0 +1,39 @@
+#include "src/sketch/fused_hash.h"
+
+#include <stdexcept>
+
+namespace shedmon::sketch {
+
+FusedTupleHasher::FusedTupleHasher(size_t key_len, const std::vector<SubHash>& subs)
+    : key_len_(key_len), num_hashes_(subs.size()) {
+  if (key_len == 0 || key_len > H3Hash::kMaxKeyBytes) {
+    throw std::invalid_argument("FusedTupleHasher key length out of range");
+  }
+  if (subs.empty() || subs.size() > kMaxFusedHashes) {
+    throw std::invalid_argument("FusedTupleHasher sub-hash count out of range");
+  }
+  fused_.assign(key_len_ * 256 * num_hashes_, 0);
+  for (size_t s = 0; s < subs.size(); ++s) {
+    // Materialize the real H3 function so the folded table is bit-identical
+    // to hashing the extracted sub-key with H3Hash(seed).
+    const H3Hash h3(subs[s].seed);
+    const auto& positions = subs[s].key_bytes;
+    if (positions.empty() || positions.size() > H3Hash::kMaxKeyBytes) {
+      throw std::invalid_argument("FusedTupleHasher sub-key length out of range");
+    }
+    for (size_t j = 0; j < positions.size(); ++j) {
+      const size_t pos = positions[j];
+      if (pos >= key_len_) {
+        throw std::invalid_argument("FusedTupleHasher sub-key position out of range");
+      }
+      uint64_t* col = fused_.data() + pos * 256 * num_hashes_ + s;
+      for (size_t v = 0; v < 256; ++v) {
+        // XOR (not assign) so a position listed twice in a sub-key behaves
+        // exactly like the duplicated byte in the materialized sub-key.
+        col[v * num_hashes_] ^= h3.TableWord(j, static_cast<uint8_t>(v));
+      }
+    }
+  }
+}
+
+}  // namespace shedmon::sketch

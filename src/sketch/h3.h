@@ -28,6 +28,11 @@ class H3Hash {
   // Hash mapped to [0, 1), for threshold-based sampling decisions.
   double HashUnit(const uint8_t* key, size_t len) const;
 
+  // The seeded table word XOR-ed in when key byte `pos` has value `value`.
+  // Exposed so FusedTupleHasher can fold several H3 functions into one
+  // precomputed table while staying bit-identical to this implementation.
+  uint64_t TableWord(size_t pos, uint8_t value) const { return table_[pos][value]; }
+
   uint64_t seed() const { return seed_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "src/trace/batch.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/util/rng.h"
@@ -82,7 +83,10 @@ bool Batcher::Next(Batch& out) {
     ++cursor_;
   }
   const size_t count = cursor_ - first;
-  out.packets.reserve(count);
+  hw_packets_ = std::max(hw_packets_, count);
+  hw_payload_ = std::max(hw_payload_, payload_total);
+  out.packets.reserve(hw_packets_);
+  out.arena.reserve(hw_payload_);
   out.arena.resize(payload_total);
 
   size_t offset = 0;

@@ -43,6 +43,12 @@ std::string_view EdonkeySignature();
 
 // Splits a trace into consecutive fixed-length bins. Bins with no packets
 // yield empty batches so the consumer sees every time bin.
+//
+// Callers are expected to reuse one Batch across Next() calls: the packet
+// vector and payload arena are cleared, not freed, so after the largest bin
+// has been seen the batcher allocates nothing per bin. Fresh (or undersized)
+// batches are pre-sized to the high-water marks of the bins consumed so far,
+// so a burst grows the buffers once instead of once per growth step.
 class Batcher {
  public:
   Batcher(const Trace& trace, uint64_t bin_us = 100'000);
@@ -60,6 +66,8 @@ class Batcher {
   size_t num_bins_;
   size_t cursor_ = 0;    // index into trace_.packets
   size_t next_bin_ = 0;
+  size_t hw_packets_ = 0;  // largest bin seen, in packets
+  size_t hw_payload_ = 0;  // largest bin seen, in arena bytes
 };
 
 }  // namespace shedmon::trace

@@ -195,7 +195,9 @@ Trace TraceGenerator::Generate() const {
 
 void MergePackets(Trace& trace, std::vector<net::PacketRecord> extra) {
   std::sort(extra.begin(), extra.end(),
-            [](const net::PacketRecord& a, const net::PacketRecord& b) { return a.ts_us < b.ts_us; });
+            [](const net::PacketRecord& a, const net::PacketRecord& b) {
+              return a.ts_us < b.ts_us;
+            });
   const size_t old_size = trace.packets.size();
   trace.packets.insert(trace.packets.end(), extra.begin(), extra.end());
   std::inplace_merge(

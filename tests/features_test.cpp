@@ -191,6 +191,90 @@ TEST(Extractor, DeterministicForSameSeedAndInput) {
   }
 }
 
+TEST(FusedAggregates, ByteIndicesMatchAggregateKeySerialization) {
+  // AggregateByteIndices must describe AggregateKey exactly: extracting the
+  // indexed bytes from the canonical serialization yields the materialized
+  // key, for every aggregate, over random tuples.
+  util::Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    net::FiveTuple t;
+    t.src_ip = static_cast<uint32_t>(rng.NextU64());
+    t.dst_ip = static_cast<uint32_t>(rng.NextU64());
+    t.src_port = static_cast<uint16_t>(rng.NextU64());
+    t.dst_port = static_cast<uint16_t>(rng.NextU64());
+    t.proto = static_cast<uint8_t>(rng.NextU64());
+    const auto canonical = t.Bytes();
+    for (int a = 0; a < kNumAggregates; ++a) {
+      const auto agg = static_cast<Aggregate>(a);
+      uint8_t key[13];
+      const size_t len = AggregateKey(t, agg, key);
+      const auto indices = AggregateByteIndices(agg);
+      ASSERT_EQ(indices.size(), len) << AggregateName(agg);
+      for (size_t j = 0; j < len; ++j) {
+        EXPECT_EQ(canonical[indices[j]], key[j]) << AggregateName(agg) << " byte " << j;
+      }
+    }
+  }
+}
+
+TEST(FusedAggregates, FusedHashesMatchPerAggregateReference) {
+  // The tentpole equivalence property: one fused pass over the 13 canonical
+  // bytes produces, for all ten aggregates, exactly the hash the seed
+  // implementation computed via AggregateKey + per-aggregate H3Hash.
+  const uint64_t base_seed = 0x5eed;
+  const sketch::FusedTupleHasher fused = MakeAggregateHasher(base_seed);
+  std::vector<sketch::H3Hash> reference;
+  for (int a = 0; a < kNumAggregates; ++a) {
+    reference.emplace_back(AggregateHashSeed(base_seed, static_cast<Aggregate>(a)));
+  }
+
+  util::Rng rng(32);
+  std::array<uint64_t, kNumAggregates> h;
+  for (int i = 0; i < 5000; ++i) {
+    net::FiveTuple t;
+    t.src_ip = static_cast<uint32_t>(rng.NextU64());
+    t.dst_ip = static_cast<uint32_t>(rng.NextU64());
+    t.src_port = static_cast<uint16_t>(rng.NextU64());
+    t.dst_port = static_cast<uint16_t>(rng.NextU64());
+    t.proto = static_cast<uint8_t>(rng.NextU64());
+    const auto canonical = t.Bytes();
+    fused.HashAllFixed<13, kNumAggregates>(canonical.data(), h);
+    for (int a = 0; a < kNumAggregates; ++a) {
+      uint8_t key[13];
+      const size_t len = AggregateKey(t, static_cast<Aggregate>(a), key);
+      EXPECT_EQ(h[static_cast<size_t>(a)], reference[static_cast<size_t>(a)].Hash(key, len))
+          << AggregateName(static_cast<Aggregate>(a));
+    }
+  }
+}
+
+TEST(Extractor, FusedExtractMatchesReferenceBitExactly) {
+  // Extract (fused + batch-local tuple dedupe) and ExtractReference (the
+  // seed's per-aggregate path) must produce bit-identical feature vectors,
+  // including across interval state carried over multiple batches.
+  const trace::Trace t = trace::TraceGenerator(trace::CescaI()).Generate();
+  trace::Batcher b1(t, 100'000);
+  trace::Batcher b2(t, 100'000);
+  trace::Batch batch1;
+  trace::Batch batch2;
+  FeatureExtractor fused_ex;
+  FeatureExtractor reference_ex;
+  int bins = 0;
+  while (b1.Next(batch1) && b2.Next(batch2)) {
+    if (++bins % 10 == 0) {  // exercise interval resets too
+      fused_ex.StartInterval();
+      reference_ex.StartInterval();
+    }
+    const FeatureVector f = fused_ex.Extract(batch1.packets);
+    const FeatureVector r = reference_ex.ExtractReference(batch2.packets);
+    for (int k = 0; k < kNumFeatures; ++k) {
+      ASSERT_DOUBLE_EQ(f[static_cast<size_t>(k)], r[static_cast<size_t>(k)])
+          << "bin " << bins << " feature " << FeatureName(k);
+    }
+  }
+  EXPECT_GT(bins, 20);
+}
+
 TEST(Extractor, RealTrafficUniqueCountsAreConsistent) {
   // On generated traffic the MRB estimates must track exact counts.
   const trace::Trace t = trace::TraceGenerator(trace::CescaI()).Generate();

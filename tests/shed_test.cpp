@@ -57,6 +57,62 @@ TEST(PacketSamplerTest, KeepsApproximatelyRateFraction) {
   EXPECT_NEAR(frac, 0.4, 0.08);
 }
 
+TEST(PacketSamplerTest, SampleIntoSelectsSameSetAsCopyingApi) {
+  // Two samplers with the same seed consume the same RNG sequence, so the
+  // in-place and copying APIs must pick exactly the same packets.
+  trace::Batch storage;
+  const auto t = SmallTrace();
+  const auto packets = FirstBatch(t, storage);
+  for (const double rate : {0.0, 0.3, 0.7, 1.0}) {
+    PacketSampler copying(17);
+    PacketSampler in_place(17);
+    const auto copied = copying.Sample(packets, rate);
+    trace::PacketVec buf;
+    in_place.SampleInto(packets, rate, buf);
+    ASSERT_EQ(copied.size(), buf.size()) << "rate " << rate;
+    for (size_t i = 0; i < copied.size(); ++i) {
+      EXPECT_EQ(copied[i].rec, buf[i].rec) << "rate " << rate << " index " << i;
+    }
+  }
+}
+
+TEST(PacketSamplerTest, SampleIntoClearsAndReusesBuffer) {
+  trace::Batch storage;
+  const auto t = SmallTrace();
+  const auto packets = FirstBatch(t, storage);
+  PacketSampler sampler(18);
+  trace::PacketVec buf;
+  sampler.SampleInto(packets, 0.5, buf);
+  const size_t first_size = buf.size();
+  const size_t first_cap = buf.capacity();
+  ASSERT_GT(first_size, 0u);
+  // A dirty, already-sized buffer must be fully replaced, not appended to,
+  // and its capacity must be retained.
+  sampler.SampleInto(packets, 0.5, buf);
+  EXPECT_NEAR(static_cast<double>(buf.size()), static_cast<double>(first_size),
+              0.25 * static_cast<double>(packets.size()));
+  EXPECT_GE(buf.capacity(), first_cap);
+  for (const auto& pkt : buf) {
+    EXPECT_NE(pkt.rec, nullptr);
+  }
+}
+
+TEST(FlowSamplerTest, SampleIntoSelectsSameSetAsCopyingApi) {
+  trace::Batch storage;
+  const auto t = SmallTrace();
+  const auto packets = FirstBatch(t, storage);
+  const FlowSampler sampler(19);
+  for (const double rate : {0.0, 0.25, 0.6, 1.0}) {
+    const auto copied = sampler.Sample(packets, rate);
+    trace::PacketVec buf;
+    sampler.SampleInto(packets, rate, buf);
+    ASSERT_EQ(copied.size(), buf.size()) << "rate " << rate;
+    for (size_t i = 0; i < copied.size(); ++i) {
+      EXPECT_EQ(copied[i].rec, buf[i].rec) << "rate " << rate << " index " << i;
+    }
+  }
+}
+
 TEST(FlowSamplerTest, FlowsKeptOrDroppedCoherently) {
   trace::Batch storage;
   const auto t = SmallTrace();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/sketch/bitmap.h"
+#include "src/sketch/fused_hash.h"
 #include "src/sketch/h3.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -75,6 +76,79 @@ TEST(H3Hash, PositionSensitivity) {
   const uint8_t at1[2] = {0x00, 0x42};
   EXPECT_NE(h.Hash(at0, 2), h.Hash(at1, 2));
   EXPECT_NE(h.Hash(at0, 1), h.Hash(at0, 2));
+}
+
+TEST(FusedTupleHasher, SingleFullWidthSubHashMatchesH3) {
+  // A sub-hash over every key byte in order must reproduce H3Hash exactly.
+  const uint64_t seed = 0xfeedbeef;
+  const FusedTupleHasher fused(13, {{seed, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}});
+  const H3Hash reference(seed);
+  util::Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    uint8_t key[13];
+    for (auto& b : key) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    EXPECT_EQ(fused.Hash1(key), reference.Hash(key, 13));
+    EXPECT_EQ(fused.Hash1Fixed<13>(key), reference.Hash(key, 13));
+    EXPECT_DOUBLE_EQ(fused.HashUnit1(key), reference.HashUnit(key, 13));
+    EXPECT_DOUBLE_EQ(fused.HashUnit1Fixed<13>(key), reference.HashUnit(key, 13));
+  }
+}
+
+TEST(FusedTupleHasher, RandomSubKeysMatchMaterializedH3) {
+  // Property test over random sub-key patterns: each fused sub-hash must be
+  // bit-identical to extracting the sub-key bytes and hashing them with a
+  // plain H3Hash of the same seed.
+  util::Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t key_len = 2 + rng.NextU64() % 15;  // 2..16
+    std::vector<FusedTupleHasher::SubHash> subs;
+    const size_t num_subs = 1 + rng.NextU64() % FusedTupleHasher::kMaxFusedHashes;
+    for (size_t s = 0; s < num_subs; ++s) {
+      FusedTupleHasher::SubHash sub;
+      sub.seed = rng.NextU64();
+      const size_t sub_len = 1 + rng.NextU64() % key_len;
+      for (size_t j = 0; j < sub_len; ++j) {
+        sub.key_bytes.push_back(static_cast<uint8_t>(rng.NextU64() % key_len));
+      }
+      subs.push_back(std::move(sub));
+    }
+    const FusedTupleHasher fused(key_len, subs);
+    ASSERT_EQ(fused.num_hashes(), num_subs);
+
+    std::vector<uint64_t> out(num_subs);
+    for (int i = 0; i < 50; ++i) {
+      uint8_t key[16];
+      for (size_t b = 0; b < key_len; ++b) {
+        key[b] = static_cast<uint8_t>(rng.NextU64());
+      }
+      fused.HashAll(key, out.data());
+      for (size_t s = 0; s < num_subs; ++s) {
+        const H3Hash reference(subs[s].seed);
+        std::vector<uint8_t> sub_key;
+        for (const uint8_t pos : subs[s].key_bytes) {
+          sub_key.push_back(key[pos]);
+        }
+        EXPECT_EQ(out[s], reference.Hash(sub_key.data(), sub_key.size()))
+            << "trial " << trial << " sub " << s;
+      }
+    }
+  }
+}
+
+TEST(FusedTupleHasher, RejectsBadShapes) {
+  EXPECT_THROW(FusedTupleHasher(0, {{1, {0}}}), std::invalid_argument);
+  EXPECT_THROW(FusedTupleHasher(17, {{1, {0}}}), std::invalid_argument);
+  EXPECT_THROW(FusedTupleHasher(4, {}), std::invalid_argument);
+  EXPECT_THROW(FusedTupleHasher(4, {{1, {4}}}), std::invalid_argument);
+  EXPECT_THROW(FusedTupleHasher(4, {{1, {}}}), std::invalid_argument);
+  // A sub-key longer than H3's table (duplicated positions) must be rejected,
+  // not read past the end of the seeded tables.
+  EXPECT_THROW(
+      FusedTupleHasher(4, {{1, {0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0}}}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(FusedTupleHasher(4, {{1, {0, 1, 2, 3}}}));
 }
 
 TEST(DirectBitmap, RequiresPowerOfTwo) {
