@@ -6,10 +6,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/runner.h"
+#include "src/exec/parallel_trace_runner.h"
+#include "src/exec/thread_pool.h"
 #include "src/query/queries.h"
 #include "src/trace/anomaly.h"
 #include "src/trace/batch.h"
@@ -21,11 +24,17 @@
 namespace shedmon::bench {
 
 // Common command-line knobs: --quick shrinks traces further; --seed=N
-// perturbs every generator seed; --oracle=measured uses real rdtsc cycles.
+// perturbs every generator seed; --oracle=measured uses real rdtsc cycles;
+// --threads=N fans a driver's independent grid cells (whole system runs)
+// over one exec::ThreadPool — results are bit-identical to --threads=0
+// under the model oracle, only wall-clock changes. Each cell's system stays
+// serial inside (SystemConfig::num_threads is not set from this flag: grid
+// and per-query parallelism would multiply thread counts).
 struct BenchArgs {
   bool quick = false;
   uint64_t seed_offset = 0;
   core::OracleKind oracle = core::OracleKind::kModel;
+  size_t threads = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -35,16 +44,24 @@ struct BenchArgs {
         args.quick = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
         args.seed_offset = std::stoull(arg.substr(7));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        args.threads = std::stoull(arg.substr(10));
       } else if (arg == "--oracle=measured") {
         args.oracle = core::OracleKind::kMeasured;
       } else if (arg == "--oracle=model") {
         args.oracle = core::OracleKind::kModel;
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: %s [--quick] [--seed=N] [--oracle=model|measured]\n", argv[0]);
+        std::printf("usage: %s [--quick] [--seed=N] [--oracle=model|measured] [--threads=N]\n",
+                    argv[0]);
         std::exit(0);
       }
     }
     return args;
+  }
+
+  // Pool shared by a driver's grid cells; null (serial) when --threads=0.
+  std::unique_ptr<exec::ThreadPool> MakePool() const {
+    return threads > 0 ? std::make_unique<exec::ThreadPool>(threads) : nullptr;
   }
 };
 
@@ -67,17 +84,17 @@ inline trace::TraceSpec Scaled(trace::TraceSpec spec, const BenchArgs& args,
   return spec;
 }
 
-// Runs one system configuration at overload factor K over `trace` with the
-// given queries (capacity = mean unshedded demand * (1 - K), §5.4).
-// `buffer_bins` > 0 overrides the capture-buffer size; the Ch. 4 method
-// comparisons pass 2.0 to reproduce the thesis's 200 ms buffer emulation.
-inline core::RunResult RunAtOverload(const trace::Trace& trace,
-                                     const std::vector<std::string>& names, double k,
-                                     core::ShedderKind shedder, shed::StrategyKind strategy,
-                                     const BenchArgs& args, bool custom_shedding = false,
-                                     bool default_min_rates = true,
-                                     double buffer_bins = 0.0) {
-  const double demand = core::MeasureMeanDemand(names, trace, args.oracle);
+// Builds the RunSpec for one system configuration at overload factor K
+// (capacity = mean unshedded demand * (1 - K), §5.4). `demand` is the
+// precomputed MeasureMeanDemand of the query set, so grid drivers measure it
+// once and fan the cells over exec::ParallelTraceRunner. `buffer_bins` > 0
+// overrides the capture-buffer size; the Ch. 4 method comparisons pass 2.0
+// to reproduce the thesis's 200 ms buffer emulation.
+inline core::RunSpec SpecAtOverload(double demand, const std::vector<std::string>& names,
+                                    double k, core::ShedderKind shedder,
+                                    shed::StrategyKind strategy, const BenchArgs& args,
+                                    bool custom_shedding = false,
+                                    bool default_min_rates = true, double buffer_bins = 0.0) {
   core::RunSpec spec;
   spec.system.shedder = shedder;
   spec.system.strategy = strategy;
@@ -89,7 +106,21 @@ inline core::RunResult RunAtOverload(const trace::Trace& trace,
   spec.oracle = args.oracle;
   spec.query_names = names;
   spec.use_default_min_rates = default_min_rates;
-  return core::RunSystemOnTrace(spec, trace);
+  return spec;
+}
+
+// Runs one system configuration at overload factor K over `trace`.
+inline core::RunResult RunAtOverload(const trace::Trace& trace,
+                                     const std::vector<std::string>& names, double k,
+                                     core::ShedderKind shedder, shed::StrategyKind strategy,
+                                     const BenchArgs& args, bool custom_shedding = false,
+                                     bool default_min_rates = true,
+                                     double buffer_bins = 0.0) {
+  const double demand = core::MeasureMeanDemand(names, trace, args.oracle);
+  return core::RunSystemOnTrace(SpecAtOverload(demand, names, k, shedder, strategy, args,
+                                               custom_shedding, default_min_rates,
+                                               buffer_bins),
+                                trace);
 }
 
 // Per-second aggregation of bin logs for time-series figures.

@@ -27,7 +27,27 @@ int main(int argc, char** argv) {
       {"mmfs_pkt", core::ShedderKind::kPredictive, shed::StrategyKind::kMmfsPkt},
   };
 
+  // One grid cell per (K, system) pair; the whole grid fans out over the
+  // pool with --threads=N (cells are independent system runs, so results are
+  // bit-identical to the serial sweep) and both tables print from one pass.
   const double step = args.quick ? 0.25 : 0.1;
+  std::vector<double> ks;
+  for (double k = 0.0; k <= 1.0 + 1e-9; k += step) {
+    ks.push_back(k);
+  }
+  const double demand = core::MeasureMeanDemand(names, trace, args.oracle);
+  const auto pool = args.MakePool();
+  exec::ParallelTraceRunner runner(pool.get());
+  const auto results = runner.RunGrid(
+      ks.size() * systems.size(),
+      [&](size_t cell) {
+        return bench::SpecAtOverload(demand, names, ks[cell / systems.size()],
+                                     systems[cell % systems.size()].shedder,
+                                     systems[cell % systems.size()].strategy, args,
+                                     /*custom_shedding=*/false, /*default_min_rates=*/true);
+      },
+      trace);
+
   for (const bool minimum : {false, true}) {
     std::printf("\n%s accuracy:\n\n", minimum ? "Minimum" : "Average");
     std::vector<std::string> header = {"K"};
@@ -35,11 +55,10 @@ int main(int argc, char** argv) {
       header.push_back(system.label);
     }
     util::Table table(header);
-    for (double k = 0.0; k <= 1.0 + 1e-9; k += step) {
-      std::vector<std::string> row = {util::Fmt(k, 2)};
-      for (const auto& system : systems) {
-        auto result = bench::RunAtOverload(trace, names, k, system.shedder, system.strategy,
-                                           args, /*custom=*/false, /*min_rates=*/true);
+    for (size_t ki = 0; ki < ks.size(); ++ki) {
+      std::vector<std::string> row = {util::Fmt(ks[ki], 2)};
+      for (size_t s = 0; s < systems.size(); ++s) {
+        const auto& result = results[ki * systems.size() + s];
         row.push_back(util::Fmt(minimum ? result.MinimumAccuracy() : result.AverageAccuracy(),
                                 2));
       }

@@ -26,10 +26,22 @@ int main(int argc, char** argv) {
       {"mmfs_pkt + custom (Fig 6.7)", shed::StrategyKind::kMmfsPkt, true},
   };
 
+  // Both system runs are independent; --threads=N runs them concurrently
+  // via the ParallelTraceRunner with bit-identical results.
+  const double demand = core::MeasureMeanDemand(names, trace, args.oracle);
+  const auto pool = args.MakePool();
+  exec::ParallelTraceRunner runner(pool.get());
+  std::vector<core::RunSpec> specs;
   for (const auto& system : systems) {
-    auto result = bench::RunAtOverload(trace, names, 0.5, core::ShedderKind::kPredictive,
-                                       system.strategy, args, system.custom,
-                                       /*min_rates=*/true);
+    specs.push_back(bench::SpecAtOverload(demand, names, 0.5, core::ShedderKind::kPredictive,
+                                          system.strategy, args, system.custom,
+                                          /*default_min_rates=*/true));
+  }
+  const auto results = runner.RunAll(specs, trace);
+
+  for (size_t s = 0; s < systems.size(); ++s) {
+    const auto& system = systems[s];
+    const auto& result = results[s];
     std::printf("\n%s:\n\n", system.label.c_str());
     util::Table table({"query", "accuracy", "mean rate"});
     for (size_t q = 0; q < names.size(); ++q) {

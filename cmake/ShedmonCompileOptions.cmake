@@ -5,7 +5,8 @@ add_library(shedmon_compile_options INTERFACE)
 add_library(shedmon::compile_options ALIAS shedmon_compile_options)
 
 target_include_directories(shedmon_compile_options INTERFACE
-  ${PROJECT_SOURCE_DIR})
+  $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}>
+  $<INSTALL_INTERFACE:${CMAKE_INSTALL_INCLUDEDIR}/shedmon>)
 
 target_compile_options(shedmon_compile_options INTERFACE
   $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra>)
@@ -30,12 +31,18 @@ endif()
 # shedmon_add_library(<name> <source...> [DEPS <target...>])
 #
 # Declares one static library per subsystem plus a shedmon::<name> alias.
-# DEPS are PUBLIC so the link graph mirrors the include graph.
+# DEPS are PUBLIC so the link graph mirrors the include graph. Every
+# subsystem library joins the shedmonTargets export set so downstream
+# projects get the full DAG from find_package(shedmon).
 function(shedmon_add_library name)
   cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
   add_library(${name} STATIC ${ARG_UNPARSED_ARGUMENTS})
   add_library(shedmon::${name} ALIAS ${name})
   target_link_libraries(${name} PUBLIC shedmon::compile_options ${ARG_DEPS})
+  if(SHEDMON_INSTALL)
+    install(TARGETS ${name} EXPORT shedmonTargets
+      ARCHIVE DESTINATION ${CMAKE_INSTALL_LIBDIR})
+  endif()
 endfunction()
 
 # shedmon_add_executable(<name> <source...> [DEPS <target...>])

@@ -32,6 +32,9 @@ int main() {
   run.system.shedder = core::ShedderKind::kPredictive;
   run.system.strategy = shed::StrategyKind::kMmfsPkt;
   run.system.cycles_per_bin = 0.5 * demand;
+  // Shard per-query work (and the reference instances) across two workers.
+  // Results are bit-identical to num_threads = 0; only wall-clock changes.
+  run.system.num_threads = 2;
   run.oracle = core::OracleKind::kModel;
   run.query_names = queries;
 

@@ -89,11 +89,20 @@ double ModelCostOracle::QueryCost(std::string_view name, const trace::PacketVec&
 
 double ModelCostOracle::Run(WorkKind kind, const WorkHint& hint,
                             const std::function<void()>& fn) {
+  return RunAt(ReserveSequence(1), kind, hint, fn);
+}
+
+uint64_t ModelCostOracle::ReserveSequence(uint64_t n) {
+  // Slots are 1-based: the pre-sequencing code charged from ++call_count_.
+  return call_count_.fetch_add(n, std::memory_order_relaxed) + 1;
+}
+
+double ModelCostOracle::RunAt(uint64_t seq, WorkKind kind, const WorkHint& hint,
+                              const std::function<void()>& fn) {
   fn();
-  ++call_count_;
   // +/-1% deterministic pseudo-noise so the regression problem is not exact.
   const double noise =
-      1.0 + 0.02 * (static_cast<double>(util::HashU64(call_count_) % 1000) / 1000.0 - 0.5);
+      1.0 + 0.02 * (static_cast<double>(util::HashU64(seq) % 1000) / 1000.0 - 0.5);
 
   const double pkts =
       hint.packets != nullptr ? static_cast<double>(hint.packets->size()) : 0.0;
@@ -101,9 +110,13 @@ double ModelCostOracle::Run(WorkKind kind, const WorkHint& hint,
     case WorkKind::kQuery: {
       if (hint.query != nullptr) {
         const double current = hint.query->work_units();
-        double& last = last_work_[hint.query];
-        const double delta = current - last;
-        last = current;
+        double delta;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          double& last = last_work_[hint.query];
+          delta = current - last;
+          last = current;
+        }
         if (delta > 0.0) {
           return delta * noise;
         }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -29,12 +31,39 @@ struct WorkHint {
 // the simulation experiments use ModelCostOracle, which still executes the
 // work but charges a deterministic, feature-driven synthetic cost, so runs
 // are bit-reproducible across machines.
+//
+// Thread-safety contract (src/exec/ parallel pipelines): Run/RunAt may be
+// invoked concurrently as long as concurrent calls reference *distinct*
+// queries in their hints — exactly what sharding per-query work guarantees.
+// Sequenced charging keeps the model oracle deterministic under that
+// concurrency: a coordinator reserves one sequence slot per upcoming call in
+// the serial order (ReserveSequence), workers then charge at their assigned
+// slots (RunAt), so every charge is bit-identical to the serial schedule no
+// matter which worker executes it when.
 class CostOracle {
  public:
   virtual ~CostOracle() = default;
 
-  // Executes `fn` and returns the cycles to charge for it.
+  // Executes `fn` and returns the cycles to charge for it. Equivalent to
+  // RunAt(ReserveSequence(1), ...).
   virtual double Run(WorkKind kind, const WorkHint& hint, const std::function<void()>& fn) = 0;
+
+  // Reserves `n` consecutive charge slots and returns the first, advancing
+  // the oracle's internal call counter as if the calls had already happened.
+  // Oracles whose charges are order-independent (the measured one) may
+  // return any value.
+  virtual uint64_t ReserveSequence(uint64_t n) {
+    (void)n;
+    return 0;
+  }
+
+  // Executes `fn` and charges it as the seq-th oracle call. Defaults to the
+  // unsequenced Run for oracles without ordering state.
+  virtual double RunAt(uint64_t seq, WorkKind kind, const WorkHint& hint,
+                       const std::function<void()>& fn) {
+    (void)seq;
+    return Run(kind, hint, fn);
+  }
 
   // Cycle budget corresponding to one wall-clock time bin on this oracle's
   // scale; experiments usually override capacity explicitly instead.
@@ -63,6 +92,9 @@ class ModelCostOracle : public CostOracle {
   ModelCostOracle() = default;
 
   double Run(WorkKind kind, const WorkHint& hint, const std::function<void()>& fn) override;
+  uint64_t ReserveSequence(uint64_t n) override;
+  double RunAt(uint64_t seq, WorkKind kind, const WorkHint& hint,
+               const std::function<void()>& fn) override;
   double DefaultBinBudget(uint64_t bin_us) const override;
   std::string_view name() const override { return "model"; }
 
@@ -71,7 +103,10 @@ class ModelCostOracle : public CostOracle {
   double QueryCost(std::string_view query_name, const trace::PacketVec& packets) const;
 
  private:
-  uint64_t call_count_ = 0;
+  std::atomic<uint64_t> call_count_{0};
+  // Guards last_work_: entries are per-query, but first-touch insertion can
+  // rehash the table under concurrent per-query calls.
+  std::mutex mutex_;
   std::unordered_map<const query::Query*, double> last_work_;
 };
 

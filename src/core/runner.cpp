@@ -2,11 +2,32 @@
 
 #include <algorithm>
 
+#include "src/exec/thread_pool.h"
 #include "src/features/extractor.h"
 #include "src/query/queries.h"
 #include "src/util/stats.h"
 
 namespace shedmon::core {
+
+namespace {
+
+// Parallel twin of query::RunReference: each worker runs the serial helper
+// for a single-query name list, so there is exactly one implementation of
+// the reference semantics and the pool path cannot drift from it. Reference
+// instances never interact, so results are identical to one serial
+// RunReference call over all names regardless of scheduling.
+std::vector<std::unique_ptr<query::Query>> RunReferenceOnPool(
+    const std::vector<std::string>& names, const trace::Trace& trace, uint64_t bin_us,
+    exec::ThreadPool& pool) {
+  std::vector<std::unique_ptr<query::Query>> queries(names.size());
+  pool.ParallelFor(0, names.size(), 1, [&](size_t q) {
+    auto one = query::RunReference({names[q]}, trace, bin_us);
+    queries[q] = std::move(one.front());
+  });
+  return queries;
+}
+
+}  // namespace
 
 double DefaultMinRate(std::string_view query_name) {
   if (query_name == "application") {
@@ -90,7 +111,13 @@ RunResult RunSystemOnTrace(const RunSpec& spec, const trace::Trace& trace) {
   }
   result.system->Finish();
 
-  result.reference = query::RunReference(spec.query_names, trace, spec.system.time_bin_us);
+  if (spec.system.num_threads > 0) {
+    exec::ThreadPool pool(spec.system.num_threads);
+    result.reference =
+        RunReferenceOnPool(spec.query_names, trace, spec.system.time_bin_us, pool);
+  } else {
+    result.reference = query::RunReference(spec.query_names, trace, spec.system.time_bin_us);
+  }
   return result;
 }
 

@@ -39,7 +39,10 @@ struct RunResult {
 };
 
 // Runs the configured system over the trace (and the reference instances over
-// the unsampled trace) and returns both.
+// the unsampled trace) and returns both. When spec.system.num_threads > 0 the
+// per-query pipeline stages *and* the reference instances run on an
+// exec::ThreadPool; results are bit-identical to the serial run (see
+// SystemConfig::num_threads).
 RunResult RunSystemOnTrace(const RunSpec& spec, const trace::Trace& trace);
 
 // Mean per-bin cycles demanded by full (unsampled) processing of the given

@@ -16,6 +16,9 @@ MonitoringSystem::MonitoringSystem(const SystemConfig& config,
                                    std::unique_ptr<CostOracle> oracle)
     : config_(config),
       oracle_(std::move(oracle)),
+      pool_(config.num_threads > 0 ? std::make_unique<exec::ThreadPool>(config.num_threads)
+                                   : nullptr),
+      executor_(pool_.get()),
       strategy_(shed::MakeStrategy(config.strategy)),
       sys_extractor_(config.extractor),
       rng_(config.seed),
@@ -89,21 +92,43 @@ void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
   log_.push_back(std::move(log));
 }
 
-double MonitoringSystem::ExecuteQuery(QueryRuntime& qr, const trace::Batch& batch, double rate,
-                                      bool update_history,
-                                      const features::FeatureVector* shared_features,
-                                      BinLog& log) {
+uint64_t MonitoringSystem::PlanOracleCalls(double rate, bool update_history,
+                                           bool has_shared_features) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  const bool sampled = rate < 1.0 - kEps;
+  uint64_t calls = 1;  // the query itself
+  if (sampled) {
+    ++calls;  // sampler
+  }
+  if (update_history) {
+    ++calls;  // model fit
+    if (sampled || !has_shared_features) {
+      ++calls;  // re-extraction (shared extraction reused at full rate)
+    }
+  }
+  return calls;
+}
+
+uint64_t MonitoringSystem::PlanCustomOracleCalls(double rate) {
+  return std::clamp(rate, 0.0, 1.0) >= kNearFullRate ? 3 : 1;
+}
+
+MonitoringSystem::QueryTaskResult MonitoringSystem::ExecuteQuery(
+    QueryRuntime& qr, const trace::Batch& batch, double rate, bool update_history,
+    const features::FeatureVector* shared_features, uint64_t base_seq) {
+  QueryTaskResult result;
   rate = std::clamp(rate, 0.0, 1.0);
   const trace::PacketVec* packets = &batch.packets;
   if (rate < 1.0 - kEps) {
     WorkHint sample_hint{qr.query.get(), &batch.packets, 0.0};
-    log.ls_cycles += oracle_->Run(WorkKind::kSampling, sample_hint, [&] {
-      if (qr.query->preferred_sampling() == query::SamplingMethod::kFlow) {
-        qr.flow_sampler.SampleInto(batch.packets, rate, qr.sample_buf);
-      } else {
-        qr.pkt_sampler.SampleInto(batch.packets, rate, qr.sample_buf);
-      }
-    });
+    result.AddCharge(/*ls=*/true,
+                     oracle_->RunAt(base_seq++, WorkKind::kSampling, sample_hint, [&] {
+                       if (qr.query->preferred_sampling() == query::SamplingMethod::kFlow) {
+                         qr.flow_sampler.SampleInto(batch.packets, rate, qr.sample_buf);
+                       } else {
+                         qr.pkt_sampler.SampleInto(batch.packets, rate, qr.sample_buf);
+                       }
+                     }));
     packets = &qr.sample_buf;
   }
 
@@ -119,49 +144,50 @@ double MonitoringSystem::ExecuteQuery(QueryRuntime& qr, const trace::Batch& batc
     } else {
       WorkHint extract_hint{qr.query.get(), packets, 0.0};
       const double extract_cycles =
-          oracle_->Run(WorkKind::kFeatureExtraction, extract_hint, [&] {
+          oracle_->RunAt(base_seq++, WorkKind::kFeatureExtraction, extract_hint, [&] {
             processed_features = qr.engine.extractor().Extract(*packets);
           });
-      if (rate < 1.0 - kEps) {
-        log.ls_cycles += extract_cycles;
-      } else {
-        log.ps_cycles += extract_cycles;
-      }
+      result.AddCharge(/*ls=*/rate < 1.0 - kEps, extract_cycles);
     }
   }
 
   query::BatchInput in{*packets, batch.start_us, batch.duration_us, rate};
   WorkHint query_hint{qr.query.get(), packets, 0.0};
-  const double used =
-      oracle_->Run(WorkKind::kQuery, query_hint, [&] { qr.query->ProcessBatch(in); });
+  const double used = oracle_->RunAt(base_seq++, WorkKind::kQuery, query_hint,
+                                     [&] { qr.query->ProcessBatch(in); });
 
   if (update_history) {
     WorkHint fit_hint{qr.query.get(), nullptr,
                       static_cast<double>(config_.predictor.history)};
-    log.ps_cycles += oracle_->Run(WorkKind::kFcbfMlr, fit_hint, [&] {
-      qr.engine.ObserveActual(processed_features, used);
-    });
+    result.AddCharge(/*ls=*/false,
+                     oracle_->RunAt(base_seq++, WorkKind::kFcbfMlr, fit_hint, [&] {
+                       qr.engine.ObserveActual(processed_features, used);
+                     }));
   }
 
-  log.packets_unsampled +=
+  result.unsampled =
       (static_cast<double>(batch.size()) - static_cast<double>(packets->size())) /
       std::max<double>(1.0, static_cast<double>(queries_.size()));
   // Drop the sampled view before the batch (and its payload arena) can be
   // recycled; the buffer keeps its capacity for the next bin.
   qr.sample_buf.clear();
   qr.last_cycles = used;
-  return used;
+  result.used = used;
+  return result;
 }
 
-double MonitoringSystem::ExecuteCustom(QueryRuntime& qr, const trace::Batch& batch, double rate,
-                                       double granted, BinLog& log) {
+MonitoringSystem::QueryTaskResult MonitoringSystem::ExecuteCustom(QueryRuntime& qr,
+                                                                  const trace::Batch& batch,
+                                                                  double rate, double granted,
+                                                                  uint64_t base_seq) {
+  QueryTaskResult result;
   rate = std::clamp(rate, 0.0, 1.0);
   // The query receives the *unsampled* batch (sampling_rate = 1); the budget
   // fraction travels separately so custom methods don't double-correct.
   query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
   WorkHint query_hint{qr.query.get(), &batch.packets, 0.0};
-  const double used =
-      oracle_->Run(WorkKind::kQuery, query_hint, [&] { qr.query->ProcessCustom(in, rate); });
+  const double used = oracle_->RunAt(base_seq++, WorkKind::kQuery, query_hint,
+                                     [&] { qr.query->ProcessCustom(in, rate); });
 
   // §6.1.1: compare actual vs expected consumption; the correction factor and
   // the policing decision both come from this observation.
@@ -177,20 +203,23 @@ double MonitoringSystem::ExecuteCustom(QueryRuntime& qr, const trace::Batch& bat
   if (rate >= kNearFullRate) {
     features::FeatureVector full_features{};
     WorkHint extract_hint{qr.query.get(), &batch.packets, 0.0};
-    log.ps_cycles += oracle_->Run(WorkKind::kFeatureExtraction, extract_hint, [&] {
-      full_features = qr.engine.extractor().Extract(batch.packets);
-    });
+    result.AddCharge(/*ls=*/false,
+                     oracle_->RunAt(base_seq++, WorkKind::kFeatureExtraction, extract_hint, [&] {
+                       full_features = qr.engine.extractor().Extract(batch.packets);
+                     }));
     WorkHint fit_hint{qr.query.get(), nullptr,
                       static_cast<double>(config_.predictor.history)};
-    log.ps_cycles += oracle_->Run(WorkKind::kFcbfMlr, fit_hint, [&] {
-      qr.engine.ObserveActual(full_features, used);
-    });
+    result.AddCharge(/*ls=*/false,
+                     oracle_->RunAt(base_seq++, WorkKind::kFcbfMlr, fit_hint, [&] {
+                       qr.engine.ObserveActual(full_features, used);
+                     }));
   }
 
-  log.packets_unsampled += static_cast<double>(batch.size()) * (1.0 - rate) /
-                           std::max<double>(1.0, static_cast<double>(queries_.size()));
+  result.unsampled = static_cast<double>(batch.size()) * (1.0 - rate) /
+                     std::max<double>(1.0, static_cast<double>(queries_.size()));
   qr.last_cycles = used;
-  return used;
+  result.used = used;
+  return result;
 }
 
 void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
@@ -247,10 +276,18 @@ void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
   shed::Allocation alloc = strategy_->Allocate(demands, budget);
   log.overload = pred_total * (1.0 + err) > budget + kEps;
 
-  // Phase 4 (lines 10-16): shed and execute.
-  double used_total = 0.0;
-  double expected_total = 0.0;
-  double measured_ls = 0.0;
+  // Phase 4 (lines 10-16): shed and execute. Pre-execution bookkeeping
+  // (penalty ticks, warm-up probes, rate finalization, charge-slot
+  // reservation) stays on the coordinating thread in registration order so
+  // the reserved cost sequence matches the serial schedule; per-query work
+  // then fans out over the pool and merges back in the same order.
+  struct QueryPlan {
+    bool execute = false;
+    bool custom = false;
+    uint64_t base_seq = 0;
+  };
+  std::vector<QueryPlan> plan(n);
+  std::vector<QueryTaskResult> results(n);
   for (size_t q = 0; q < n; ++q) {
     QueryRuntime& qr = *queries_[q];
     if (config_.enable_custom_shedding && qr.enforcement.InPenalty()) {
@@ -268,33 +305,59 @@ void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
     log.rate[q] = alloc.rate[q];
     log.disabled[q] = alloc.disabled[q];
     if (alloc.disabled[q] || alloc.rate[q] <= kEps) {
-      log.packets_unsampled += static_cast<double>(batch.size()) /
-                               std::max<double>(1.0, static_cast<double>(n));
-      qr.last_cycles = 0.0;
       continue;
     }
-    const double ls_before = log.ls_cycles;
-    double used;
+    plan[q].execute = true;
     // Custom shedding is only delegated once the query's cost model is warm:
     // the system needs a trustworthy full-cost prediction before it can
     // verify that the query honours its budget (§6.1.1). Until then the
     // query is sampled like any other, which also yields clean
     // (features, cycles) observations to bootstrap the model.
-    const bool custom_ready = config_.enable_custom_shedding &&
-                              qr.config.allow_custom_shedding &&
-                              qr.query->supports_custom_shedding() &&
-                              qr.engine.predictor().history_size() >=
-                                  config_.warmup_observations;
-    if (custom_ready) {
-      used = ExecuteCustom(qr, batch, alloc.rate[q], alloc.rate[q] * pred[q], log);
-    } else {
-      used = ExecuteQuery(qr, batch, alloc.rate[q], /*update_history=*/true, &f_full, log);
-    }
-    measured_ls += log.ls_cycles - ls_before;
-    log.per_query_cycles[q] = used;
-    used_total += used;
-    expected_total += alloc.rate[q] * pred[q];
+    plan[q].custom = config_.enable_custom_shedding && qr.config.allow_custom_shedding &&
+                     qr.query->supports_custom_shedding() &&
+                     qr.engine.predictor().history_size() >= config_.warmup_observations;
+    plan[q].base_seq = oracle_->ReserveSequence(
+        plan[q].custom ? PlanCustomOracleCalls(alloc.rate[q])
+                       : PlanOracleCalls(alloc.rate[q], /*update_history=*/true,
+                                         /*has_shared_features=*/true));
   }
+
+  double used_total = 0.0;
+  double expected_total = 0.0;
+  double measured_ls = 0.0;
+  executor_.Run(
+      n,
+      [&](size_t q) {
+        if (!plan[q].execute) {
+          return;
+        }
+        QueryRuntime& qr = *queries_[q];
+        if (plan[q].custom) {
+          results[q] = ExecuteCustom(qr, batch, alloc.rate[q], alloc.rate[q] * pred[q],
+                                     plan[q].base_seq);
+        } else {
+          results[q] = ExecuteQuery(qr, batch, alloc.rate[q], /*update_history=*/true, &f_full,
+                                    plan[q].base_seq);
+        }
+      },
+      [&](size_t q) {
+        if (!plan[q].execute) {
+          log.packets_unsampled += static_cast<double>(batch.size()) /
+                                   std::max<double>(1.0, static_cast<double>(n));
+          queries_[q]->last_cycles = 0.0;
+          return;
+        }
+        const QueryTaskResult& r = results[q];
+        const double ls_before = log.ls_cycles;
+        for (size_t c = 0; c < r.num_charges; ++c) {
+          (r.charges[c].ls ? log.ls_cycles : log.ps_cycles) += r.charges[c].cycles;
+        }
+        measured_ls += log.ls_cycles - ls_before;
+        log.packets_unsampled += r.unsampled;
+        log.per_query_cycles[q] = r.used;
+        used_total += r.used;
+        expected_total += alloc.rate[q] * pred[q];
+      });
   log.query_cycles = used_total;
 
   // Phase 5 (line 17 + §4.3): smoothers for the next bin.
@@ -318,15 +381,30 @@ void MonitoringSystem::RunReactive(const trace::Batch& batch, BinLog& log) {
   }
   log.overload = reactive_rate_ < 1.0 - kEps;
 
-  double used_total = 0.0;
-  for (size_t q = 0; q < queries_.size(); ++q) {
-    QueryRuntime& qr = *queries_[q];
+  const size_t n = queries_.size();
+  std::vector<uint64_t> base_seq(n);
+  for (size_t q = 0; q < n; ++q) {
     log.rate[q] = reactive_rate_;
-    const double used =
-        ExecuteQuery(qr, batch, reactive_rate_, /*update_history=*/false, nullptr, log);
-    log.per_query_cycles[q] = used;
-    used_total += used;
+    base_seq[q] = oracle_->ReserveSequence(PlanOracleCalls(
+        reactive_rate_, /*update_history=*/false, /*has_shared_features=*/false));
   }
+  std::vector<QueryTaskResult> results(n);
+  double used_total = 0.0;
+  executor_.Run(
+      n,
+      [&](size_t q) {
+        results[q] = ExecuteQuery(*queries_[q], batch, reactive_rate_,
+                                  /*update_history=*/false, nullptr, base_seq[q]);
+      },
+      [&](size_t q) {
+        const QueryTaskResult& r = results[q];
+        for (size_t c = 0; c < r.num_charges; ++c) {
+          (r.charges[c].ls ? log.ls_cycles : log.ps_cycles) += r.charges[c].cycles;
+        }
+        log.packets_unsampled += r.unsampled;
+        log.per_query_cycles[q] = r.used;
+        used_total += r.used;
+      });
   // Reactive systems skip the prediction subsystem: no history upkeep.
   log.ps_cycles = 0.0;
   log.query_cycles = used_total;
@@ -335,18 +413,28 @@ void MonitoringSystem::RunReactive(const trace::Batch& batch, BinLog& log) {
 
 void MonitoringSystem::RunNoShed(const trace::Batch& batch, BinLog& log) {
   log.avail_cycles = std::max(0.0, capacity_ - log.como_cycles);
-  double used_total = 0.0;
-  for (size_t q = 0; q < queries_.size(); ++q) {
-    QueryRuntime& qr = *queries_[q];
+  const size_t n = queries_.size();
+  std::vector<uint64_t> base_seq(n);
+  for (size_t q = 0; q < n; ++q) {
     log.rate[q] = 1.0;
-    query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
-    WorkHint hint{qr.query.get(), &batch.packets, 0.0};
-    const double used =
-        oracle_->Run(WorkKind::kQuery, hint, [&] { qr.query->ProcessBatch(in); });
-    log.per_query_cycles[q] = used;
-    qr.last_cycles = used;
-    used_total += used;
+    base_seq[q] = oracle_->ReserveSequence(1);
   }
+  std::vector<double> used(n, 0.0);
+  double used_total = 0.0;
+  executor_.Run(
+      n,
+      [&](size_t q) {
+        QueryRuntime& qr = *queries_[q];
+        query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
+        WorkHint hint{qr.query.get(), &batch.packets, 0.0};
+        used[q] = oracle_->RunAt(base_seq[q], WorkKind::kQuery, hint,
+                                 [&] { qr.query->ProcessBatch(in); });
+        qr.last_cycles = used[q];
+      },
+      [&](size_t q) {
+        log.per_query_cycles[q] = used[q];
+        used_total += used[q];
+      });
   log.query_cycles = used_total;
   log.overload = used_total > log.avail_cycles;
 }

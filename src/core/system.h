@@ -1,9 +1,13 @@
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <memory>
 #include <vector>
 
 #include "src/core/cost.h"
+#include "src/exec/query_executor.h"
+#include "src/exec/thread_pool.h"
 #include "src/features/extractor.h"
 #include "src/predict/engine.h"
 #include "src/query/query.h"
@@ -71,6 +75,14 @@ struct SystemConfig {
   bool enable_custom_shedding = false;
   shed::EnforcementConfig enforcement;
   uint64_t seed = 42;
+  // Worker threads for the per-bin, per-query pipeline stages (sampling,
+  // query processing, post-shed re-extraction, model fits) and for the
+  // reference instances core::RunSystemOnTrace runs. 0 = serial, today's
+  // single-threaded behavior. Any value yields bit-identical BinLogs and
+  // accuracies under the deterministic model oracle: per-query work fans out
+  // over an exec::ThreadPool while cost charges are sequenced and BinLog
+  // merges replayed in registration order (see exec::QueryExecutor).
+  size_t num_threads = 0;
 };
 
 // Everything the system recorded about one time bin, the raw material for
@@ -149,23 +161,59 @@ class MonitoringSystem {
   void RunReactive(const trace::Batch& batch, BinLog& log);
   void RunNoShed(const trace::Batch& batch, BinLog& log);
 
+  // What one query's execution inside a bin produced. Tasks run on workers
+  // and only touch state owned by their query; everything order-sensitive is
+  // carried here and merged into the BinLog on the coordinating thread in
+  // registration order, replaying the serial schedule charge by charge so
+  // accumulated cycle counters are bit-identical to serial execution.
+  struct QueryTaskResult {
+    struct Charge {
+      bool ls = false;  // ls_cycles (true) or ps_cycles (false)
+      double cycles = 0.0;
+    };
+    double used = 0.0;       // measured query cycles
+    double unsampled = 0.0;  // contribution to BinLog::packets_unsampled
+    // Subsystem charges in serial call order. Capacity 3 is exact: the
+    // sampled update_history path charges sampling + re-extraction + fit
+    // (the query charge itself travels in `used`).
+    std::array<Charge, 3> charges{};
+    size_t num_charges = 0;
+
+    void AddCharge(bool ls, double cycles) {
+      assert(num_charges < charges.size());
+      charges[num_charges++] = {ls, cycles};
+    }
+  };
+
+  // Number of oracle calls ExecuteQuery will make for the given parameters;
+  // the coordinator reserves exactly this many charge slots per query (in
+  // registration order) before fanning tasks out, so sequenced charges match
+  // the serial call schedule no matter which worker runs when.
+  static uint64_t PlanOracleCalls(double rate, bool update_history, bool has_shared_features);
+  static uint64_t PlanCustomOracleCalls(double rate);
+
   // Samples, runs and accounts one query at the given rate; updates the
   // prediction history when `update_history` is set. When no sampling is
   // applied and `shared_features` is given, the prediction-stage extraction
   // is reused instead of re-extracting (the computation-sharing optimization
-  // the thesis proposes in §3.4.4). Returns measured cycles.
-  double ExecuteQuery(QueryRuntime& qr, const trace::Batch& batch, double rate,
-                      bool update_history, const features::FeatureVector* shared_features,
-                      BinLog& log);
+  // the thesis proposes in §3.4.4). `base_seq` is the first of the charge
+  // slots reserved for this query's oracle calls. Safe to call concurrently
+  // for distinct queries.
+  QueryTaskResult ExecuteQuery(QueryRuntime& qr, const trace::Batch& batch, double rate,
+                               bool update_history,
+                               const features::FeatureVector* shared_features,
+                               uint64_t base_seq);
   // Custom-shedding execution path (Ch. 6).
-  double ExecuteCustom(QueryRuntime& qr, const trace::Batch& batch, double rate,
-                       double granted, BinLog& log);
+  QueryTaskResult ExecuteCustom(QueryRuntime& qr, const trace::Batch& batch, double rate,
+                                double granted, uint64_t base_seq);
 
   void TickIntervals();
   void UpdateBufferAndThreshold(double spent_total);
 
   SystemConfig config_;
   std::unique_ptr<CostOracle> oracle_;
+  std::unique_ptr<exec::ThreadPool> pool_;  // null when num_threads == 0
+  exec::QueryExecutor executor_;
   std::unique_ptr<shed::ShedStrategy> strategy_;
   features::FeatureExtractor sys_extractor_;
   std::vector<std::unique_ptr<QueryRuntime>> queries_;

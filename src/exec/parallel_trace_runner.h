@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/exec/thread_pool.h"
+
+namespace shedmon::exec {
+
+// Fans whole independent system runs — the K-sweeps and system-comparison
+// grids the bench_fig* drivers execute back-to-back — across a ThreadPool.
+// Each RunSpec gets its own MonitoringSystem, cost oracle and Batcher over
+// the shared (read-only) trace, so runs never share mutable state and every
+// RunResult is bit-identical to running the same spec alone.
+//
+// Header-only by design: exec's compiled library stays below core in the
+// dependency DAG (core uses ThreadPool), while this fan-out helper sits above
+// it and is pulled in wherever core::RunSystemOnTrace already is.
+class ParallelTraceRunner {
+ public:
+  // Does not take ownership; pass nullptr to run the specs serially in order.
+  explicit ParallelTraceRunner(ThreadPool* pool) : pool_(pool) {}
+
+  // Runs every spec over `trace`; result i corresponds to specs[i].
+  std::vector<core::RunResult> RunAll(const std::vector<core::RunSpec>& specs,
+                                      const trace::Trace& trace) const {
+    std::vector<core::RunResult> results(specs.size());
+    const auto run_one = [&](size_t i) { results[i] = core::RunSystemOnTrace(specs[i], trace); };
+    if (pool_ != nullptr && specs.size() > 1) {
+      pool_->ParallelFor(0, specs.size(), 1, run_one);
+    } else {
+      for (size_t i = 0; i < specs.size(); ++i) {
+        run_one(i);
+      }
+    }
+    return results;
+  }
+
+  // Generic grid variant for drivers whose cells need extra context beyond a
+  // RunSpec (e.g. a per-cell overload factor): runs make_spec(i) for each
+  // cell index. make_spec must be safe to call concurrently.
+  std::vector<core::RunResult> RunGrid(
+      size_t cells, const std::function<core::RunSpec(size_t)>& make_spec,
+      const trace::Trace& trace) const {
+    std::vector<core::RunResult> results(cells);
+    const auto run_one = [&](size_t i) {
+      results[i] = core::RunSystemOnTrace(make_spec(i), trace);
+    };
+    if (pool_ != nullptr && cells > 1) {
+      pool_->ParallelFor(0, cells, 1, run_one);
+    } else {
+      for (size_t i = 0; i < cells; ++i) {
+        run_one(i);
+      }
+    }
+    return results;
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace shedmon::exec

@@ -1,0 +1,27 @@
+#include "src/exec/query_executor.h"
+
+#include "src/exec/thread_pool.h"
+
+namespace shedmon::exec {
+
+void QueryExecutor::Run(size_t n, const std::function<void(size_t)>& task,
+                        const std::function<void(size_t)>& merge) const {
+  if (task) {
+    if (pool_ != nullptr && n > 1) {
+      // Grain 1: per-query costs are heterogeneous (Fig. 2.2 spans ~20x), so
+      // fine-grained dispatch load-balances better than equal chunks.
+      pool_->ParallelFor(0, n, 1, task);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        task(i);
+      }
+    }
+  }
+  if (merge) {
+    for (size_t i = 0; i < n; ++i) {
+      merge(i);
+    }
+  }
+}
+
+}  // namespace shedmon::exec

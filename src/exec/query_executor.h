@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace shedmon::exec {
+
+class ThreadPool;
+
+// Shards index-addressed units of work (one per registered query, in
+// shedmon's main use) across a ThreadPool, then replays a merge step for
+// every index *in order 0..n-1* on the calling thread.
+//
+// This is the primitive that keeps parallel pipelines bit-identical to their
+// serial equivalents: tasks may run in any order on any worker as long as
+// they only touch state owned by their index (plus explicitly thread-safe
+// shared services such as the sequenced cost oracle), while everything
+// order-sensitive — accumulating BinLog cycle counters, appending rows,
+// updating EWMA smoothers — happens in the merge callback, which observes
+// exactly the serial order.
+//
+// With a null pool (or n <= 1) the executor degrades to a plain serial loop
+// running task(i); merge(i) per index, so callers need no separate serial
+// code path.
+class QueryExecutor {
+ public:
+  // Does not take ownership of `pool`; pass nullptr for inline execution.
+  explicit QueryExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  // Runs task(i) for i in [0, n) (on the pool when available), waits for all
+  // of them, then runs merge(i) for i = 0..n-1 on the calling thread.
+  // Exceptions from tasks propagate after all tasks finished; merge is only
+  // invoked when every task succeeded. Either callback may be empty.
+  void Run(size_t n, const std::function<void(size_t)>& task,
+           const std::function<void(size_t)>& merge) const;
+
+  bool parallel() const { return pool_ != nullptr; }
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace shedmon::exec

@@ -8,6 +8,13 @@
 
 namespace shedmon::shed {
 
+// Thread-safety contract (src/exec/ parallel pipelines): a sampler instance
+// belongs to exactly one query runtime and is only ever driven by the worker
+// executing that query's bin, so no internal locking is needed. PacketSampler
+// advances its own RNG per call; FlowSampler::SampleInto is const (selection
+// is a pure function of seed, tuple and rate) and Reseed happens on the
+// coordinating thread between bins.
+
 // Uniform random packet sampling (§4.2): each packet of the batch is kept
 // independently with probability `rate`.
 class PacketSampler {

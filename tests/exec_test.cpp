@@ -1,0 +1,335 @@
+// src/exec/ tests: ThreadPool semantics (ordering, exception propagation,
+// zero-task and one-worker edges), QueryExecutor's ordered merge, and the
+// subsystem's headline property — parallel pipelines are bit-identical to
+// serial ones at every thread count, for every shedder kind.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/exec/parallel_trace_runner.h"
+#include "src/exec/query_executor.h"
+#include "src/exec/thread_pool.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+
+namespace shedmon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  exec::ThreadPool pool(2);
+  auto future = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenZeroRequested) {
+  exec::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  // The queue is FIFO, so one worker must observe tasks in submission order.
+  exec::ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i, &order] { order.push_back(i); }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  exec::ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  exec::ThreadPool pool(4);
+  for (const size_t grain : {size_t{0}, size_t{1}, size_t{3}, size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.ParallelFor(0, hits.size(), grain, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+    for (auto& h : hits) {
+      h.store(0);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndSingleIteration) {
+  exec::ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](size_t) { ++calls; });  // empty range: no calls
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(5, 6, 1, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 5u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForOnOneWorkerPoolDoesNotDeadlock) {
+  // An external caller runs the first chunk itself and the single worker
+  // drains the rest. (Calling ParallelFor from a worker of the same pool is
+  // outside the contract — see the header.)
+  exec::ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(0, 100, 7, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstIterationError) {
+  exec::ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.ParallelFor(0, 64, 1,
+                                [&](size_t i) {
+                                  executed.fetch_add(1);
+                                  if (i == 13) {
+                                    throw std::invalid_argument("13");
+                                  }
+                                }),
+               std::invalid_argument);
+  // All chunks ran to completion before the rethrow (no detached work left).
+  EXPECT_EQ(executed.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// QueryExecutor
+// ---------------------------------------------------------------------------
+
+TEST(QueryExecutorTest, MergeRunsInIndexOrderAfterAllTasks) {
+  exec::ThreadPool pool(4);
+  exec::QueryExecutor executor(&pool);
+  std::atomic<int> tasks_done{0};
+  std::vector<size_t> merge_order;
+  executor.Run(
+      25, [&](size_t) { tasks_done.fetch_add(1); },
+      [&](size_t i) {
+        EXPECT_EQ(tasks_done.load(), 25);  // merge starts only after the barrier
+        merge_order.push_back(i);
+      });
+  std::vector<size_t> expected(25);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(merge_order, expected);
+}
+
+TEST(QueryExecutorTest, NullPoolRunsInline) {
+  exec::QueryExecutor executor(nullptr);
+  EXPECT_FALSE(executor.parallel());
+  std::vector<std::string> events;
+  executor.Run(
+      2, [&](size_t i) { events.push_back("task" + std::to_string(i)); },
+      [&](size_t i) { events.push_back("merge" + std::to_string(i)); });
+  EXPECT_EQ(events, (std::vector<std::string>{"task0", "task1", "merge0", "merge1"}));
+}
+
+TEST(QueryExecutorTest, TaskFailureSkipsMerge) {
+  exec::ThreadPool pool(2);
+  exec::QueryExecutor executor(&pool);
+  bool merged = false;
+  EXPECT_THROW(executor.Run(
+                   4,
+                   [](size_t i) {
+                     if (i == 2) {
+                       throw std::runtime_error("task failed");
+                     }
+                   },
+                   [&](size_t) { merged = true; }),
+               std::runtime_error);
+  EXPECT_FALSE(merged);
+}
+
+TEST(QueryExecutorTest, ZeroTasksIsANoOp) {
+  exec::ThreadPool pool(2);
+  exec::QueryExecutor executor(&pool);
+  int calls = 0;
+  executor.Run(0, [&](size_t) { ++calls; }, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel == serial, bit for bit
+// ---------------------------------------------------------------------------
+
+const trace::Trace& EquivalenceTrace() {
+  static const trace::Trace t = [] {
+    trace::TraceSpec spec;
+    spec.name = "exec-equivalence";
+    spec.duration_s = 4.0;
+    spec.flows_per_s = 180.0;
+    spec.payloads = true;
+    spec.seed = 777;
+    return trace::TraceGenerator(spec).Generate();
+  }();
+  return t;
+}
+
+std::vector<std::string> EquivalenceQueries() {
+  // Mixed packet/flow sampling, custom-shedding support (high-watermark,
+  // top-k) and byte-heavy work (pattern-search).
+  return {"counter", "flows", "high-watermark", "top-k", "pattern-search"};
+}
+
+double EquivalenceDemand() {
+  static const double demand = core::MeasureMeanDemand(
+      EquivalenceQueries(), EquivalenceTrace(), core::OracleKind::kModel);
+  return demand;
+}
+
+void ExpectBinLogsIdentical(const std::vector<core::BinLog>& serial,
+                            const std::vector<core::BinLog>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t b = 0; b < serial.size(); ++b) {
+    SCOPED_TRACE("bin " + std::to_string(b));
+    const core::BinLog& s = serial[b];
+    const core::BinLog& p = parallel[b];
+    EXPECT_EQ(s.start_us, p.start_us);
+    EXPECT_EQ(s.packets_in, p.packets_in);
+    EXPECT_EQ(s.packets_dropped, p.packets_dropped);
+    EXPECT_EQ(s.packets_unsampled, p.packets_unsampled);
+    EXPECT_EQ(s.batch_dropped, p.batch_dropped);
+    EXPECT_EQ(s.overload, p.overload);
+    EXPECT_EQ(s.predicted_cycles, p.predicted_cycles);
+    EXPECT_EQ(s.avail_cycles, p.avail_cycles);
+    EXPECT_EQ(s.query_cycles, p.query_cycles);
+    EXPECT_EQ(s.ps_cycles, p.ps_cycles);
+    EXPECT_EQ(s.ls_cycles, p.ls_cycles);
+    EXPECT_EQ(s.como_cycles, p.como_cycles);
+    EXPECT_EQ(s.backlog_cycles, p.backlog_cycles);
+    EXPECT_EQ(s.rtthresh, p.rtthresh);
+    EXPECT_EQ(s.rate, p.rate);
+    EXPECT_EQ(s.per_query_cycles, p.per_query_cycles);
+    EXPECT_EQ(s.disabled, p.disabled);
+  }
+}
+
+struct EquivalenceCase {
+  std::string label;
+  core::ShedderKind shedder = core::ShedderKind::kPredictive;
+  shed::StrategyKind strategy = shed::StrategyKind::kEqSrates;
+  double k = 0.5;  // overload factor
+  bool custom_shedding = false;
+};
+
+class ParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<EquivalenceCase, size_t>> {};
+
+TEST_P(ParallelEquivalence, BinLogsAndAccuraciesBitIdenticalToSerial) {
+  const auto& [c, threads] = GetParam();
+  core::RunSpec spec;
+  spec.system.shedder = c.shedder;
+  spec.system.strategy = c.strategy;
+  spec.system.cycles_per_bin = std::max(1.0, EquivalenceDemand() * (1.0 - c.k));
+  spec.system.enable_custom_shedding = c.custom_shedding;
+  spec.oracle = core::OracleKind::kModel;
+  spec.query_names = EquivalenceQueries();
+
+  spec.system.num_threads = 0;
+  const auto serial = RunSystemOnTrace(spec, EquivalenceTrace());
+  spec.system.num_threads = threads;
+  const auto parallel = RunSystemOnTrace(spec, EquivalenceTrace());
+
+  EXPECT_EQ(serial.system->total_packets(), parallel.system->total_packets());
+  EXPECT_EQ(serial.system->total_dropped(), parallel.system->total_dropped());
+  ExpectBinLogsIdentical(serial.system->log(), parallel.system->log());
+  ASSERT_EQ(serial.system->num_queries(), parallel.system->num_queries());
+  for (size_t q = 0; q < serial.system->num_queries(); ++q) {
+    SCOPED_TRACE("query " + std::to_string(q));
+    const auto sa = serial.Accuracy(q);
+    const auto pa = parallel.Accuracy(q);
+    EXPECT_EQ(sa.mean_error, pa.mean_error);
+    EXPECT_EQ(sa.stdev_error, pa.stdev_error);
+    EXPECT_EQ(serial.MeanAccuracy(q), parallel.MeanAccuracy(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShedderByThreads, ParallelEquivalence,
+    ::testing::Combine(
+        ::testing::Values(
+            EquivalenceCase{"predictive_eq", core::ShedderKind::kPredictive,
+                            shed::StrategyKind::kEqSrates, 0.5, false},
+            EquivalenceCase{"predictive_mmfs_noshed_k0", core::ShedderKind::kPredictive,
+                            shed::StrategyKind::kMmfsPkt, 0.0, false},
+            EquivalenceCase{"predictive_custom", core::ShedderKind::kPredictive,
+                            shed::StrategyKind::kMmfsCpu, 0.6, true},
+            EquivalenceCase{"reactive", core::ShedderKind::kReactive,
+                            shed::StrategyKind::kEqSrates, 0.5, false},
+            EquivalenceCase{"no_shed", core::ShedderKind::kNoShed,
+                            shed::StrategyKind::kEqSrates, 0.5, false}),
+        ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::get<0>(info.param).label + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// ParallelTraceRunner
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTraceRunnerTest, RunAllMatchesIndividualSerialRuns) {
+  std::vector<core::RunSpec> specs;
+  for (const double k : {0.0, 0.4, 0.8}) {
+    core::RunSpec spec;
+    spec.system.cycles_per_bin = std::max(1.0, EquivalenceDemand() * (1.0 - k));
+    spec.oracle = core::OracleKind::kModel;
+    spec.query_names = EquivalenceQueries();
+    specs.push_back(spec);
+  }
+
+  exec::ThreadPool pool(3);
+  const auto parallel = exec::ParallelTraceRunner(&pool).RunAll(specs, EquivalenceTrace());
+  const auto serial = exec::ParallelTraceRunner(nullptr).RunAll(specs, EquivalenceTrace());
+
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("spec " + std::to_string(i));
+    ExpectBinLogsIdentical(serial[i].system->log(), parallel[i].system->log());
+    EXPECT_EQ(serial[i].AverageAccuracy(), parallel[i].AverageAccuracy());
+    EXPECT_EQ(serial[i].MinimumAccuracy(), parallel[i].MinimumAccuracy());
+  }
+}
+
+TEST(ParallelTraceRunnerTest, RunGridMapsCellIndexToResultIndex) {
+  exec::ThreadPool pool(2);
+  const auto results = exec::ParallelTraceRunner(&pool).RunGrid(
+      4,
+      [&](size_t cell) {
+        core::RunSpec spec;
+        // Distinguish cells by capacity so the mapping is observable.
+        spec.system.cycles_per_bin = EquivalenceDemand() * (1.0 + static_cast<double>(cell));
+        spec.oracle = core::OracleKind::kModel;
+        spec.query_names = {"counter"};
+        return spec;
+      },
+      EquivalenceTrace());
+  ASSERT_EQ(results.size(), 4u);
+  for (size_t cell = 0; cell < results.size(); ++cell) {
+    EXPECT_EQ(results[cell].system->capacity(),
+              EquivalenceDemand() * (1.0 + static_cast<double>(cell)))
+        << "cell " << cell;
+  }
+}
+
+}  // namespace
+}  // namespace shedmon

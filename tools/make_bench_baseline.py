@@ -55,6 +55,11 @@ def condense(path):
             entry["items_per_second"] = bench["items_per_second"]
         if "bytes_per_second" in bench:
             entry["bytes_per_second"] = bench["bytes_per_second"]
+        # Machine-independent user counters (e.g. the thread-scaling runs'
+        # model_speedup makespan ratio) ride along untouched.
+        for key, value in bench.items():
+            if key.startswith("model_"):
+                entry[key] = value
         out["benchmarks"][name] = entry
     return out
 
