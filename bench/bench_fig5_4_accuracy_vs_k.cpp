@@ -3,6 +3,7 @@
 // representative nine-query set with its Table 5.2 rate constraints.
 
 #include "bench/bench_common.h"
+#include "src/api/run.h"
 
 int main(int argc, char** argv) {
   using namespace shedmon;
@@ -28,8 +29,9 @@ int main(int argc, char** argv) {
   };
 
   // One grid cell per (K, system) pair; the whole grid fans out over the
-  // pool with --threads=N (cells are independent system runs, so results are
-  // bit-identical to the serial sweep) and both tables print from one pass.
+  // pool with --threads=N (cells are independent pipeline runs, so results
+  // are bit-identical to the serial sweep) and both tables print from one
+  // pass. Each cell drives the api::Pipeline facade.
   const double step = args.quick ? 0.25 : 0.1;
   std::vector<double> ks;
   for (double k = 0.0; k <= 1.0 + 1e-9; k += step) {
@@ -37,8 +39,7 @@ int main(int argc, char** argv) {
   }
   const double demand = core::MeasureMeanDemand(names, trace, args.oracle);
   const auto pool = args.MakePool();
-  exec::ParallelTraceRunner runner(pool.get());
-  const auto results = runner.RunGrid(
+  const auto results = api::RunPipelineGrid(
       ks.size() * systems.size(),
       [&](size_t cell) {
         return bench::SpecAtOverload(demand, names, ks[cell / systems.size()],
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
                                      systems[cell % systems.size()].strategy, args,
                                      /*custom_shedding=*/false, /*default_min_rates=*/true);
       },
-      trace);
+      trace, pool.get());
 
   for (const bool minimum : {false, true}) {
     std::printf("\n%s accuracy:\n\n", minimum ? "Minimum" : "Average");
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
     for (size_t ki = 0; ki < ks.size(); ++ki) {
       std::vector<std::string> row = {util::Fmt(ks[ki], 2)};
       for (size_t s = 0; s < systems.size(); ++s) {
-        const auto& result = results[ki * systems.size() + s];
+        const auto& result = *results[ki * systems.size() + s];
         row.push_back(util::Fmt(minimum ? result.MinimumAccuracy() : result.AverageAccuracy(),
                                 2));
       }

@@ -3,6 +3,7 @@
 // same overload: CPU control, drops, and per-query accuracy.
 
 #include "bench/bench_common.h"
+#include "src/api/run.h"
 
 int main(int argc, char** argv) {
   using namespace shedmon;
@@ -27,37 +28,38 @@ int main(int argc, char** argv) {
   };
 
   // Both system runs are independent; --threads=N runs them concurrently
-  // via the ParallelTraceRunner with bit-identical results.
+  // over the pool with bit-identical results. Each cell drives the
+  // api::Pipeline facade.
   const double demand = core::MeasureMeanDemand(names, trace, args.oracle);
   const auto pool = args.MakePool();
-  exec::ParallelTraceRunner runner(pool.get());
-  std::vector<core::RunSpec> specs;
-  for (const auto& system : systems) {
-    specs.push_back(bench::SpecAtOverload(demand, names, 0.5, core::ShedderKind::kPredictive,
-                                          system.strategy, args, system.custom,
-                                          /*default_min_rates=*/true));
-  }
-  const auto results = runner.RunAll(specs, trace);
+  const auto results = api::RunPipelineGrid(
+      systems.size(),
+      [&](size_t cell) {
+        return bench::SpecAtOverload(demand, names, 0.5, core::ShedderKind::kPredictive,
+                                     systems[cell].strategy, args, systems[cell].custom,
+                                     /*default_min_rates=*/true);
+      },
+      trace, pool.get());
 
   for (size_t s = 0; s < systems.size(); ++s) {
     const auto& system = systems[s];
-    const auto& result = results[s];
+    const auto& result = *results[s];
     std::printf("\n%s:\n\n", system.label.c_str());
     util::Table table({"query", "accuracy", "mean rate"});
     for (size_t q = 0; q < names.size(); ++q) {
       util::RunningStats rate;
-      for (const auto& bin : result.system->log()) {
+      for (const auto& bin : result.log()) {
         if (q < bin.rate.size()) {
           rate.Add(bin.rate[q]);
         }
       }
-      table.AddRow({names[q], util::Fmt(result.MeanAccuracy(q), 2),
+      table.AddRow({names[q], util::Fmt(result.MeanAccuracyAt(q), 2),
                     util::Fmt(rate.mean(), 2)});
     }
     table.Print(std::cout);
     std::printf("avg accuracy %.2f | min accuracy %.2f | uncontrolled drops %llu\n",
                 result.AverageAccuracy(), result.MinimumAccuracy(),
-                static_cast<unsigned long long>(result.system->total_dropped()));
+                static_cast<unsigned long long>(result.total_dropped()));
   }
   std::printf(
       "\nPaper shape: the full system raises both the average and (especially)\n"

@@ -1,8 +1,10 @@
 // Fig. 6.9: behaviour in front of new query arrivals — queries join the
-// running system every few seconds; the system re-balances the sampling
-// rates and absorbs each arrival without uncontrolled loss.
+// running pipeline every few seconds through AdvanceTime + AddQuery; the
+// system re-balances the sampling rates and absorbs each arrival without
+// uncontrolled loss.
 
 #include "bench/bench_common.h"
+#include "src/api/pipeline.h"
 
 int main(int argc, char** argv) {
   using namespace shedmon;
@@ -18,30 +20,36 @@ int main(int argc, char** argv) {
   // Capacity fits roughly three of the five queries: later arrivals force
   // re-allocation.
   const double demand = core::MeasureMeanDemand(arrivals, trace, args.oracle);
-  core::SystemConfig cfg;
-  cfg.cycles_per_bin = 0.6 * demand;
-  cfg.shedder = core::ShedderKind::kPredictive;
-  cfg.strategy = shed::StrategyKind::kMmfsPkt;
-  cfg.enable_custom_shedding = true;
-  core::MonitoringSystem system(cfg, core::MakeOracle(args.oracle));
+  constexpr uint64_t kBinUs = 100'000;
+  auto pipeline = PipelineBuilder()
+                      .TimeBin(kBinUs)
+                      .CyclesPerBin(0.6 * demand)
+                      .Shedder(core::ShedderKind::kPredictive)
+                      .Strategy(shed::StrategyKind::kMmfsPkt)
+                      .CustomShedding()
+                      .Oracle(args.oracle)
+                      .Build();
 
-  trace::Batcher batcher(trace, 100'000);
-  trace::Batch batch;
-  size_t bin = 0;
-  const size_t arrival_gap = batcher.num_bins() / (arrivals.size() + 1);
+  // Streaming arrivals: AdvanceTime closes every bin before the arrival
+  // instant, then AddQuery joins the query exactly at that bin.
+  const size_t num_bins = static_cast<size_t>((trace.duration_us() + kBinUs - 1) / kBinUs);
+  const size_t arrival_gap = num_bins / (arrivals.size() + 1);
   size_t next_arrival = 0;
-  while (batcher.Next(batch)) {
-    if (next_arrival < arrivals.size() && bin >= next_arrival * arrival_gap) {
-      system.AddQuery(query::MakeQuery(arrivals[next_arrival]),
-                      {core::DefaultMinRate(arrivals[next_arrival]), true});
-      std::printf("t=%4.1fs  + query '%s' arrives\n", static_cast<double>(bin) / 10.0,
-                  arrivals[next_arrival].c_str());
+  for (const net::PacketRecord& packet : trace.packets) {
+    while (next_arrival < arrivals.size() &&
+           packet.ts_us >= next_arrival * arrival_gap * kBinUs) {
+      const uint64_t arrival_us = next_arrival * arrival_gap * kBinUs;
+      pipeline.AdvanceTime(arrival_us);
+      pipeline.AddQuery(arrivals[next_arrival],
+                        {core::DefaultMinRate(arrivals[next_arrival]), true});
+      std::printf("t=%4.1fs  + query '%s' arrives\n",
+                  static_cast<double>(arrival_us) * 1e-6, arrivals[next_arrival].c_str());
       ++next_arrival;
     }
-    system.ProcessBatch(batch);
-    ++bin;
+    pipeline.Push(packet);
   }
-  system.Finish();
+  pipeline.Finish();
+  const core::MonitoringSystem& system = pipeline.system();
 
   std::printf("\nMean sampling rate per second (columns appear as queries join):\n\n");
   std::vector<std::string> header = {"t (s)"};

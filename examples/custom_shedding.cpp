@@ -10,10 +10,9 @@
 #include <cstdio>
 #include <memory>
 
-#include "src/core/runner.h"
+#include "src/api/pipeline.h"
 #include "src/query/queries.h"
 #include "src/trace/anomaly.h"
-#include "src/trace/batch.h"
 #include "src/trace/generator.h"
 #include "src/trace/spec.h"
 #include "src/util/stats.h"
@@ -98,47 +97,38 @@ int main() {
   const std::vector<std::string> base = {"counter", "flows"};
   const double demand = core::MeasureMeanDemand(base, traffic, core::OracleKind::kModel) * 2.0;
 
-  core::SystemConfig cfg;
-  cfg.cycles_per_bin = 0.5 * demand;
-  cfg.shedder = core::ShedderKind::kPredictive;
-  cfg.strategy = shed::StrategyKind::kMmfsPkt;
-  cfg.enable_custom_shedding = true;
-  core::MonitoringSystem system(cfg, core::MakeOracle(core::OracleKind::kModel));
-  system.AddQuery(std::make_unique<SynRateQuery>(), {0.05, true});
-  system.AddQuery(std::make_unique<query::SelfishP2pDetectorQuery>(), {0.05, true});
-  system.AddQuery(query::MakeQuery("counter"), {0.03, true});
-  system.AddQuery(query::MakeQuery("flows"), {0.05, true});
+  // A user-written query cannot be cloned by name, so accuracy tracking
+  // takes an explicit second instance to run over the unsampled stream.
+  auto pipeline = PipelineBuilder()
+                      .Shedder(core::ShedderKind::kPredictive)
+                      .Strategy(shed::StrategyKind::kMmfsPkt)
+                      .CyclesPerBin(0.5 * demand)
+                      .CustomShedding()
+                      .Build();
+  QueryHandle syn_handle = pipeline.AddQuery(std::make_unique<SynRateQuery>(), {0.05, true},
+                                             std::make_unique<SynRateQuery>());
+  QueryHandle selfish_handle =
+      pipeline.AddQuery(std::make_unique<query::SelfishP2pDetectorQuery>(), {0.05, true});
+  pipeline.AddQuery("counter", {0.03, true});
+  pipeline.AddQuery("flows", {0.05, true});
 
-  trace::Batcher batcher(traffic, 100'000);
-  trace::Batch batch;
-  while (batcher.Next(batch)) {
-    system.ProcessBatch(batch);
-  }
-  system.Finish();
+  pipeline.Push(traffic);
+  pipeline.Finish();
 
-  // Reference run for the custom query.
-  SynRateQuery reference;
-  trace::Batcher ref_batcher(traffic, 100'000);
-  size_t bins = 0;
-  while (ref_batcher.Next(batch)) {
-    reference.ProcessBatch({batch.packets, batch.start_us, batch.duration_us, 1.0});
-    if (++bins % 10 == 0) {
-      reference.EndInterval();
-    }
-  }
-
-  const auto& syn = dynamic_cast<const SynRateQuery&>(system.query(0));
+  const auto& syn = dynamic_cast<const SynRateQuery&>(syn_handle.query());
+  const auto& reference = dynamic_cast<const SynRateQuery&>(*syn_handle.reference());
   std::printf("SYN packets per interval (custom-shed estimate vs truth):\n");
   for (size_t i = 0; i < syn.syn_counts().size(); ++i) {
     std::printf("  t=%2zu s: %8.0f  (truth %8.0f)\n", i + 1, syn.syn_counts()[i],
                 i < reference.syn_counts().size() ? reference.syn_counts()[i] : 0.0);
   }
   std::printf("\nmean error of the custom query: %.1f%%\n",
-              syn.MeanError(reference) * 100.0);
+              syn_handle.Accuracy().mean_error * 100.0);
   std::printf("selfish neighbour policed %zu time(s); custom query policed %zu time(s)\n",
-              system.enforcement(1).times_policed(), system.enforcement(0).times_policed());
+              pipeline.system().enforcement(selfish_handle.index()).times_policed(),
+              pipeline.system().enforcement(syn_handle.index()).times_policed());
   std::printf("uncontrolled drops: %llu\n\n",
-              static_cast<unsigned long long>(system.total_dropped()));
+              static_cast<unsigned long long>(pipeline.total_dropped()));
   std::printf(
       "The system delegated shedding to the query, verified actual vs granted\n"
       "cycles every bin (§6.1.1), and disabled only the selfish neighbour.\n");

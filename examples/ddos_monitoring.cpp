@@ -8,8 +8,9 @@
 //   ./examples/ddos_monitoring
 
 #include <cstdio>
+#include <vector>
 
-#include "src/core/runner.h"
+#include "src/api/pipeline.h"
 #include "src/query/queries.h"
 #include "src/trace/anomaly.h"
 #include "src/trace/generator.h"
@@ -37,31 +38,36 @@ int main() {
       core::MeasureMeanDemand(queries, traffic, core::OracleKind::kModel);
 
   for (const bool shedding : {false, true}) {
-    core::RunSpec run;
-    run.system.shedder =
-        shedding ? core::ShedderKind::kPredictive : core::ShedderKind::kNoShed;
-    run.system.strategy = shed::StrategyKind::kMmfsPkt;
-    run.system.cycles_per_bin = 0.6 * demand;
-    run.oracle = core::OracleKind::kModel;
-    run.query_names = queries;
-    core::RunResult result = core::RunSystemOnTrace(run, traffic);
+    auto pipeline = PipelineBuilder()
+                        .Shedder(shedding ? core::ShedderKind::kPredictive
+                                          : core::ShedderKind::kNoShed)
+                        .Strategy(shed::StrategyKind::kMmfsPkt)
+                        .CyclesPerBin(0.6 * demand)
+                        .Build();
+    std::vector<QueryHandle> handles;
+    for (const auto& name : queries) {
+      handles.push_back(pipeline.AddQuery(name));
+    }
+    pipeline.Push(traffic);
+    pipeline.Finish();
 
     std::printf("=== %s ===\n", shedding ? "predictive load shedding" : "no load shedding");
     std::printf("uncontrolled drops: %llu packets\n",
-                static_cast<unsigned long long>(result.system->total_dropped()));
+                static_cast<unsigned long long>(pipeline.total_dropped()));
 
-    // The flow count per 1 s interval is the attack's signature.
-    const auto& flows = dynamic_cast<const query::FlowsQuery&>(result.system->query(0));
+    // The flow count per 1 s interval is the attack's signature; the handle
+    // hands back both the estimate and its unsampled reference twin.
+    const auto& flows = dynamic_cast<const query::FlowsQuery&>(handles[0].query());
     const auto& ref_flows =
-        dynamic_cast<const query::FlowsQuery&>(*result.reference[0]);
+        dynamic_cast<const query::FlowsQuery&>(*handles[0].reference());
     std::printf("active 5-tuple flows per interval (estimate vs truth):\n");
     for (size_t i = 0; i < flows.flow_counts().size(); i += 2) {
       std::printf("  t=%2zu s: %8.0f  (truth %8.0f)\n", i, flows.flow_counts()[i],
                   i < ref_flows.flow_counts().size() ? ref_flows.flow_counts()[i] : 0.0);
     }
-    for (size_t q = 0; q < queries.size(); ++q) {
-      std::printf("%-14s mean error %.1f%%\n", queries[q].c_str(),
-                  result.Accuracy(q).mean_error * 100.0);
+    for (const QueryHandle& handle : handles) {
+      std::printf("%-14s mean error %.1f%%\n", handle.name().c_str(),
+                  handle.Accuracy().mean_error * 100.0);
     }
     std::printf("\n");
   }

@@ -7,8 +7,9 @@
 //   ./examples/fair_sharing
 
 #include <cstdio>
+#include <vector>
 
-#include "src/core/runner.h"
+#include "src/api/pipeline.h"
 #include "src/game/game.h"
 #include "src/trace/generator.h"
 #include "src/trace/spec.h"
@@ -31,29 +32,32 @@ int main() {
       core::MeasureMeanDemand(queries, traffic, core::OracleKind::kModel);
 
   for (const auto strategy : {shed::StrategyKind::kMmfsCpu, shed::StrategyKind::kMmfsPkt}) {
-    core::RunSpec run;
-    run.system.shedder = core::ShedderKind::kPredictive;
-    run.system.strategy = strategy;
-    run.system.cycles_per_bin = 0.5 * demand;  // 2x overload
-    run.oracle = core::OracleKind::kModel;
-    run.query_names = queries;
-    run.query_configs = configs;
-    core::RunResult result = core::RunSystemOnTrace(run, traffic);
+    auto pipeline = PipelineBuilder()
+                        .Shedder(core::ShedderKind::kPredictive)
+                        .Strategy(strategy)
+                        .CyclesPerBin(0.5 * demand)  // 2x overload
+                        .Build();
+    std::vector<QueryHandle> handles;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      handles.push_back(pipeline.AddQuery(queries[q], configs[q]));
+    }
+    pipeline.Push(traffic);
+    pipeline.Finish();
 
     std::printf("=== %s ===\n",
                 strategy == shed::StrategyKind::kMmfsCpu ? "mmfs_cpu (fair in cycles)"
                                                          : "mmfs_pkt (fair in packets)");
-    for (size_t q = 0; q < queries.size(); ++q) {
+    for (const QueryHandle& handle : handles) {
       util::RunningStats rate;
-      for (const auto& bin : result.system->log()) {
-        if (q < bin.rate.size()) {
-          rate.Add(bin.rate[q]);
+      for (const auto& bin : pipeline.log()) {
+        if (handle.index() < bin.rate.size()) {
+          rate.Add(bin.rate[handle.index()]);
         }
       }
-      std::printf("  %-15s mean sampling rate %.2f   accuracy %.2f\n", queries[q].c_str(),
-                  rate.mean(), result.MeanAccuracy(q));
+      std::printf("  %-15s mean sampling rate %.2f   accuracy %.2f\n", handle.name().c_str(),
+                  rate.mean(), handle.MeanAccuracy());
     }
-    std::printf("  minimum accuracy across users: %.2f\n\n", result.MinimumAccuracy());
+    std::printf("  minimum accuracy across users: %.2f\n\n", pipeline.MinimumAccuracy());
   }
 
   // Why honesty is the best policy: the allocation game of §5.3.

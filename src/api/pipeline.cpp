@@ -1,0 +1,443 @@
+#include "src/api/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/runner.h"
+#include "src/exec/thread_pool.h"
+#include "src/query/queries.h"
+
+namespace shedmon::api {
+
+namespace {
+constexpr size_t kNpos = static_cast<size_t>(-1);
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryHandle
+// ---------------------------------------------------------------------------
+
+bool QueryHandle::valid() const {
+  return pipeline_ != nullptr && id_ != 0 && pipeline_->system_ != nullptr &&
+         pipeline_->FindSlot(id_) != kNpos;
+}
+
+size_t QueryHandle::index() const {
+  if (pipeline_ == nullptr || id_ == 0) {
+    throw std::logic_error("QueryHandle: not attached to a Pipeline");
+  }
+  if (pipeline_->system_ == nullptr) {
+    throw std::logic_error("QueryHandle: the Pipeline's system was released");
+  }
+  return pipeline_->SlotIndex(id_);
+}
+
+const std::string& QueryHandle::name() const { return query().name(); }
+
+query::Query& QueryHandle::query() const {
+  const size_t i = index();  // validates the handle before any dereference
+  return pipeline_->system_->query(i);
+}
+
+const query::Query* QueryHandle::reference() const {
+  const size_t i = index();
+  return pipeline_->slots_[i].reference.get();
+}
+
+query::AccuracyRow QueryHandle::Accuracy() const { return pipeline_->AccuracyAt(index()); }
+
+double QueryHandle::MeanAccuracy() const { return pipeline_->MeanAccuracyAt(index()); }
+
+// ---------------------------------------------------------------------------
+// PipelineBuilder
+// ---------------------------------------------------------------------------
+
+PipelineBuilder& PipelineBuilder::Config(const core::SystemConfig& config) {
+  config_ = config;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::TimeBin(uint64_t bin_us) {
+  config_.time_bin_us = bin_us;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::CyclesPerBin(double cycles) {
+  config_.cycles_per_bin = cycles;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Shedder(core::ShedderKind kind) {
+  config_.shedder = kind;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Strategy(shed::StrategyKind kind) {
+  config_.strategy = kind;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::BufferBins(double bins) {
+  config_.buffer_bins = bins;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::CustomShedding(bool enable) {
+  config_.enable_custom_shedding = enable;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Threads(size_t num_threads) {
+  config_.num_threads = num_threads;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Seed(uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Oracle(core::OracleKind kind) {
+  oracle_ = kind;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::TrackAccuracy(bool enable) {
+  track_accuracy_ = enable;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::DefaultMinRates(bool enable) {
+  default_min_rates_ = enable;
+  return *this;
+}
+
+PipelineBuilder PipelineBuilder::FromRunSpec(const core::RunSpec& spec) {
+  PipelineBuilder builder;
+  builder.config_ = spec.system;
+  builder.oracle_ = spec.oracle;
+  builder.default_min_rates_ = spec.use_default_min_rates;
+  return builder;
+}
+
+Pipeline PipelineBuilder::Build() const {
+  return Pipeline(config_, core::MakeOracle(oracle_), track_accuracy_, default_min_rates_);
+}
+
+std::unique_ptr<Pipeline> PipelineBuilder::BuildUnique() const {
+  return std::unique_ptr<Pipeline>(
+      new Pipeline(config_, core::MakeOracle(oracle_), track_accuracy_, default_min_rates_));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+Pipeline::Pipeline(const core::SystemConfig& config, std::unique_ptr<core::CostOracle> oracle,
+                   bool track_accuracy, bool default_min_rates)
+    : track_accuracy_(track_accuracy),
+      default_min_rates_(default_min_rates),
+      bin_us_(config.time_bin_us) {
+  if (config.time_bin_us == 0) {
+    throw std::invalid_argument("Pipeline: time_bin_us must be positive");
+  }
+  system_ = std::make_unique<core::MonitoringSystem>(config, std::move(oracle));
+}
+
+Pipeline::~Pipeline() = default;
+
+size_t Pipeline::FindSlot(uint64_t id) const noexcept {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].id == id) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+size_t Pipeline::SlotIndex(uint64_t id) const {
+  const size_t index = FindSlot(id);
+  if (index == kNpos) {
+    throw std::logic_error("QueryHandle: query was removed from the Pipeline");
+  }
+  return index;
+}
+
+void Pipeline::EnsureOpen(std::string_view op) const {
+  if (finished_) {
+    throw std::logic_error(std::string(op) + " called after Pipeline::Finish()");
+  }
+}
+
+QueryHandle Pipeline::AddQuery(std::string_view name) {
+  core::QueryConfig config;
+  if (default_min_rates_) {
+    config.min_sampling_rate = core::DefaultMinRate(name);
+  }
+  return AddQuery(name, config);
+}
+
+QueryHandle Pipeline::AddQuery(std::string_view name, const core::QueryConfig& config) {
+  return Register(config, query::MakeQuery(name),
+                  track_accuracy_ ? query::MakeQuery(name) : nullptr);
+}
+
+QueryHandle Pipeline::AddQuery(std::unique_ptr<query::Query> query,
+                               const core::QueryConfig& config,
+                               std::unique_ptr<query::Query> reference) {
+  if (query == nullptr) {
+    throw std::invalid_argument("Pipeline::AddQuery: query must not be null");
+  }
+  return Register(config, std::move(query), std::move(reference));
+}
+
+QueryHandle Pipeline::Register(const core::QueryConfig& config,
+                               std::unique_ptr<query::Query> query,
+                               std::unique_ptr<query::Query> reference) {
+  EnsureOpen("AddQuery");
+  system_->AddQuery(std::move(query), config);
+  Slot slot;
+  slot.id = next_id_++;
+  slot.reference = std::move(reference);
+  slots_.push_back(std::move(slot));
+  return QueryHandle(this, slots_.back().id);
+}
+
+DetachedQuery Pipeline::Detach(QueryHandle handle) {
+  EnsureOpen("Detach");
+  if (handle.pipeline_ != this) {
+    throw std::logic_error("Pipeline::Detach: handle belongs to another Pipeline");
+  }
+  const size_t index = SlotIndex(handle.id_);
+  DetachedQuery detached;
+  detached.reference = std::move(slots_[index].reference);
+  slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(index));
+  detached.query = system_->RemoveQuery(index);
+  return detached;
+}
+
+void Pipeline::AddObserver(BinObserver* observer) {
+  if (observer != nullptr) {
+    observers_.push_back(observer);
+  }
+}
+
+void Pipeline::AddObserver(std::unique_ptr<BinObserver> observer) {
+  if (observer != nullptr) {
+    observers_.push_back(observer.get());
+    owned_observers_.push_back(std::move(observer));
+  }
+}
+
+void Pipeline::Push(const net::PacketRecord& record) { AppendRecord(record, nullptr); }
+
+void Pipeline::Push(const net::Packet& packet) {
+  net::PacketRecord record = *packet.rec;
+  record.payload_len = packet.payload_len;
+  AppendRecord(record, packet.payload);
+}
+
+void Pipeline::Push(std::span<const net::PacketRecord> records) {
+  for (const net::PacketRecord& record : records) {
+    Push(record);
+  }
+}
+
+void Pipeline::Push(std::span<const net::Packet> packets) {
+  for (const net::Packet& packet : packets) {
+    Push(packet);
+  }
+}
+
+void Pipeline::Push(const trace::Trace& trace) {
+  Push(std::span<const net::PacketRecord>(trace.packets));
+}
+
+void Pipeline::AppendRecord(const net::PacketRecord& record, const uint8_t* payload_bytes) {
+  EnsureOpen("Push");
+  const uint64_t bin = record.ts_us / bin_us_;
+  if (bin < open_bin_) {
+    throw std::invalid_argument("Pipeline::Push: packet is older than the open time bin");
+  }
+  if (bin > open_bin_) {
+    FlushThrough(bin);
+  }
+  records_.push_back(record);
+  payload_offsets_.push_back(arena_.size());
+  if (record.payload_len > 0) {
+    arena_.resize(arena_.size() + record.payload_len);
+    uint8_t* dst = arena_.data() + payload_offsets_.back();
+    if (payload_bytes != nullptr) {
+      std::copy_n(payload_bytes, record.payload_len, dst);
+    } else {
+      trace::MaterializePayload(record, dst);
+    }
+  }
+  wire_bytes_ += record.wire_len;
+}
+
+void Pipeline::AdvanceTime(uint64_t ts_us) {
+  EnsureOpen("AdvanceTime");
+  const uint64_t bin = ts_us / bin_us_;
+  if (bin > open_bin_) {
+    FlushThrough(bin);
+  }
+}
+
+void Pipeline::FlushThrough(uint64_t bin_index) {
+  while (open_bin_ < bin_index) {
+    CloseOpenBin();
+  }
+}
+
+void Pipeline::CloseOpenBin() {
+  batch_.start_us = open_bin_ * bin_us_;
+  batch_.duration_us = bin_us_;
+  batch_.wire_bytes = wire_bytes_;
+  batch_.packets.clear();
+  batch_.packets.reserve(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    net::Packet packet;
+    packet.rec = &records_[i];
+    packet.payload_len = records_[i].payload_len;
+    packet.payload =
+        records_[i].payload_len > 0 ? arena_.data() + payload_offsets_[i] : nullptr;
+    batch_.packets.push_back(packet);
+  }
+
+  system_->ProcessBatch(batch_);
+  RunReferences();
+  NotifyObservers();
+
+  batch_.packets.clear();
+  records_.clear();
+  payload_offsets_.clear();
+  arena_.clear();
+  wire_bytes_ = 0;
+  ++bins_processed_;
+  ++open_bin_;
+}
+
+void Pipeline::RunReferences() {
+  const query::BatchInput in{batch_.packets, batch_.start_us, batch_.duration_us, 1.0};
+  const auto run_one = [&](size_t i) {
+    Slot& slot = slots_[i];
+    if (slot.reference == nullptr) {
+      return;
+    }
+    slot.reference->ProcessBatch(in);
+    if (++slot.ref_bins_in_interval >= slot.reference->interval_bins()) {
+      slot.reference->EndInterval();
+      slot.ref_bins_in_interval = 0;
+    }
+  };
+  exec::ThreadPool* pool = system_->pool();
+  if (pool != nullptr && slots_.size() > 1) {
+    pool->ParallelFor(0, slots_.size(), 1, run_one);
+  } else {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      run_one(i);
+    }
+  }
+}
+
+void Pipeline::NotifyObservers() {
+  if (observers_.empty()) {
+    return;
+  }
+  const core::BinLog& log = system_->log().back();
+  BinStats stats;
+  stats.bin_index = bins_processed_;
+  stats.num_queries = system_->num_queries();
+  stats.capacity = system_->capacity();
+  stats.spent_cycles = log.query_cycles + log.ps_cycles + log.ls_cycles + log.como_cycles;
+  stats.utilization = stats.capacity > 0.0 ? stats.spent_cycles / stats.capacity : 0.0;
+  const double in_pkts = static_cast<double>(log.packets_in);
+  stats.drop_fraction = in_pkts > 0.0 ? static_cast<double>(log.packets_dropped) / in_pkts : 0.0;
+  stats.shed_fraction = in_pkts > 0.0 ? log.packets_unsampled / in_pkts : 0.0;
+  stats.query_names.reserve(system_->num_queries());
+  for (size_t q = 0; q < system_->num_queries(); ++q) {
+    stats.query_names.push_back(system_->query(q).name());
+  }
+  for (BinObserver* observer : observers_) {
+    observer->OnBin(log, stats);
+  }
+}
+
+void Pipeline::Finish() {
+  if (finished_) {
+    return;
+  }
+  if (!records_.empty()) {
+    CloseOpenBin();
+  }
+  system_->Finish();
+  for (Slot& slot : slots_) {
+    if (slot.reference != nullptr && slot.ref_bins_in_interval > 0) {
+      slot.reference->EndInterval();
+      slot.ref_bins_in_interval = 0;
+    }
+  }
+  finished_ = true;
+  for (BinObserver* observer : observers_) {
+    observer->OnRunEnd();
+  }
+}
+
+query::AccuracyRow Pipeline::AccuracyAt(size_t index) const {
+  if (index >= slots_.size()) {
+    throw std::out_of_range("Pipeline::AccuracyAt: no query at this index");
+  }
+  if (slots_[index].reference == nullptr) {
+    throw std::logic_error("Pipeline::AccuracyAt: no reference tracked for this query");
+  }
+  return query::SummarizeAccuracy(system_->query(index), *slots_[index].reference);
+}
+
+double Pipeline::MeanAccuracyAt(size_t index) const {
+  return std::clamp(1.0 - AccuracyAt(index).mean_error, 0.0, 1.0);
+}
+
+double Pipeline::AverageAccuracy() const {
+  double sum = 0.0;
+  size_t tracked = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].reference != nullptr) {
+      sum += MeanAccuracyAt(i);
+      ++tracked;
+    }
+  }
+  return tracked == 0 ? 0.0 : sum / static_cast<double>(tracked);
+}
+
+double Pipeline::MinimumAccuracy() const {
+  double min = 1.0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].reference != nullptr) {
+      min = std::min(min, MeanAccuracyAt(i));
+    }
+  }
+  return min;
+}
+
+std::unique_ptr<core::MonitoringSystem> Pipeline::ReleaseSystem() {
+  if (!finished_) {
+    throw std::logic_error("Pipeline::ReleaseSystem: call Finish() first");
+  }
+  return std::move(system_);
+}
+
+std::vector<std::unique_ptr<query::Query>> Pipeline::ReleaseReferences() {
+  if (!finished_) {
+    throw std::logic_error("Pipeline::ReleaseReferences: call Finish() first");
+  }
+  std::vector<std::unique_ptr<query::Query>> references;
+  references.reserve(slots_.size());
+  for (Slot& slot : slots_) {
+    references.push_back(std::move(slot.reference));
+  }
+  return references;
+}
+
+}  // namespace shedmon::api

@@ -1,0 +1,298 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/cost.h"
+#include "src/core/runner.h"
+#include "src/core/system.h"
+#include "src/net/packet.h"
+#include "src/query/accuracy.h"
+#include "src/query/query.h"
+#include "src/trace/batch.h"
+#include "src/trace/generator.h"
+
+namespace shedmon::api {
+
+class Pipeline;
+
+// Derived per-bin quantities delivered to observers next to the raw BinLog.
+// The name views point at the live queries in registration order; they are
+// valid only for the duration of the OnBin call.
+struct BinStats {
+  size_t bin_index = 0;
+  size_t num_queries = 0;
+  double capacity = 0.0;
+  double spent_cycles = 0.0;   // query + prediction + shedding + CoMo overhead
+  double utilization = 0.0;    // spent_cycles / capacity
+  double drop_fraction = 0.0;  // uncontrolled drops / packets_in
+  double shed_fraction = 0.0;  // deliberately unsampled / packets_in
+  std::vector<std::string_view> query_names;
+};
+
+// Streaming result sink: OnBin fires once per closed time bin, in bin order,
+// on the thread that called Push/AdvanceTime/Finish (the coordinator), at any
+// SystemConfig::num_threads — worker threads never touch observers.
+class BinObserver {
+ public:
+  virtual ~BinObserver() = default;
+
+  virtual void OnBin(const core::BinLog& log, const BinStats& stats) = 0;
+  // Called once from Pipeline::Finish after the final bin; sinks flush here.
+  virtual void OnRunEnd() {}
+};
+
+// Stable reference to a query registered with a Pipeline. Handles survive
+// additions and removals of *other* queries (today's raw size_t indices do
+// not); a handle dies only when its own query is removed. Copyable value
+// type; all accessors throw std::logic_error once the handle is stale.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const;
+  // Current registration index — the query's column in BinLog::rate and
+  // friends. Shifts when earlier queries are removed, which is exactly why
+  // callers should hold handles, not indices.
+  size_t index() const;
+  const std::string& name() const;
+  query::Query& query() const;
+  // Null when the pipeline does not track accuracy for this query.
+  const query::Query* reference() const;
+  bool has_reference() const { return reference() != nullptr; }
+
+  // Live accuracy against the pipeline-managed reference instance, over the
+  // intervals both instances have completed so far (§2.2.1 metric). Throws
+  // std::logic_error when no reference is tracked.
+  query::AccuracyRow Accuracy() const;
+  // 1 - mean error, clamped to [0, 1] — the "accuracy" of the Ch. 5/6 plots.
+  double MeanAccuracy() const;
+
+ private:
+  friend class Pipeline;
+  QueryHandle(Pipeline* pipeline, uint64_t id) : pipeline_(pipeline), id_(id) {}
+
+  Pipeline* pipeline_ = nullptr;
+  uint64_t id_ = 0;  // 0 = never attached
+};
+
+// What Pipeline::Detach hands back: the live query instance (snapshots and
+// all) plus its reference twin when accuracy was tracked.
+struct DetachedQuery {
+  std::unique_ptr<query::Query> query;
+  std::unique_ptr<query::Query> reference;
+};
+
+// Fluent configuration for a Pipeline. A builder is reusable: Build() can be
+// called repeatedly and every pipeline gets its own system and cost oracle.
+class PipelineBuilder {
+ public:
+  PipelineBuilder() = default;
+
+  // Wholesale escape hatch; the fluent setters below edit the same config.
+  PipelineBuilder& Config(const core::SystemConfig& config);
+  PipelineBuilder& TimeBin(uint64_t bin_us);
+  PipelineBuilder& CyclesPerBin(double cycles);
+  PipelineBuilder& Shedder(core::ShedderKind kind);
+  PipelineBuilder& Strategy(shed::StrategyKind kind);
+  PipelineBuilder& BufferBins(double bins);
+  PipelineBuilder& CustomShedding(bool enable = true);
+  PipelineBuilder& Threads(size_t num_threads);
+  PipelineBuilder& Seed(uint64_t seed);
+  PipelineBuilder& Oracle(core::OracleKind kind);
+  // Run pipeline-managed reference instances over the unsampled stream so
+  // per-query accuracy is queryable live from a handle (default on).
+  PipelineBuilder& TrackAccuracy(bool enable = true);
+  // Apply core::DefaultMinRate to queries added by name without an explicit
+  // QueryConfig (default on, matching core::RunSpec::use_default_min_rates).
+  PipelineBuilder& DefaultMinRates(bool enable = true);
+
+  // Mirrors a core::RunSpec (system config, oracle, min-rate policy); the
+  // spec's queries are added by the caller, e.g. via api::RunTrace.
+  static PipelineBuilder FromRunSpec(const core::RunSpec& spec);
+
+  const core::SystemConfig& config() const { return config_; }
+
+  // Build() relies on guaranteed copy elision: Pipeline is neither copyable
+  // nor movable so outstanding QueryHandles can never dangle.
+  Pipeline Build() const;
+  std::unique_ptr<Pipeline> BuildUnique() const;
+
+ private:
+  core::SystemConfig config_;
+  core::OracleKind oracle_ = core::OracleKind::kModel;
+  bool track_accuracy_ = true;
+  bool default_min_rates_ = true;
+};
+
+// The supported public entry point to shedmon: a long-lived, online
+// monitoring pipeline. Callers push raw packets (no pre-batching); the
+// pipeline bins them into SystemConfig::time_bin_us batches, runs the load
+// shedding system as each bin closes, feeds pipeline-managed reference
+// instances for live accuracy, and delivers every closed bin to the attached
+// observers. Queries arrive and leave mid-run through stable QueryHandles
+// (Fig. 6.9's arrivals, plus the removal today's index-based API forbids).
+//
+// Determinism: pushing a time-sorted trace through Push produces BinLogs and
+// accuracies field-identical to the historical batch path (Batcher +
+// MonitoringSystem::ProcessBatch + query::RunReference) at any num_threads.
+//
+// Not thread-safe: Push/AddQuery/Detach/Finish must come from one thread
+// (the coordinator). Worker parallelism lives behind SystemConfig::
+// num_threads inside the system and never reaches observers.
+class Pipeline {
+ public:
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+  Pipeline(Pipeline&&) = delete;
+  Pipeline& operator=(Pipeline&&) = delete;
+
+  // ---- Queries -----------------------------------------------------------
+  // Registers a standard query (Table 2.2) by name, with the builder's
+  // min-rate policy. Queries may be added before any packet or mid-run; a
+  // mid-run addition joins the bin that is open at call time.
+  QueryHandle AddQuery(std::string_view name);
+  QueryHandle AddQuery(std::string_view name, const core::QueryConfig& config);
+  // Registers a user-supplied query. Accuracy tracking needs a second,
+  // caller-supplied instance to run over the unsampled stream (user queries
+  // cannot be cloned); pass nullptr to skip tracking for this query.
+  QueryHandle AddQuery(std::unique_ptr<query::Query> query,
+                       const core::QueryConfig& config = {},
+                       std::unique_ptr<query::Query> reference = nullptr);
+
+  // Removes the query from the system and returns it (plus its reference)
+  // so final results stay readable. Takes effect immediately: the currently
+  // open bin is processed without it. The handle and any copies become
+  // stale; other handles stay valid (their index() shifts).
+  DetachedQuery Detach(QueryHandle handle);
+  void Remove(QueryHandle handle) { (void)Detach(handle); }
+
+  // ---- Observers ---------------------------------------------------------
+  // Borrowed observer: caller keeps it alive until Finish() returns.
+  void AddObserver(BinObserver* observer);
+  // Owning overload for fire-and-forget sinks.
+  void AddObserver(std::unique_ptr<BinObserver> observer);
+
+  // ---- Ingestion ---------------------------------------------------------
+  // Pushes one packet. Timestamps must be non-decreasing across bins: a
+  // packet older than the open bin throws std::invalid_argument. A packet in
+  // a later bin first closes the open bin (and any empty bins in between),
+  // firing observers, then starts the new bin.
+  void Push(const net::PacketRecord& record);
+  // Packet-view overload: copies the record and the materialized payload
+  // bytes, so the caller's batch/arena may be recycled right after the call.
+  void Push(const net::Packet& packet);
+  void Push(std::span<const net::PacketRecord> records);
+  void Push(std::span<const net::Packet> packets);
+  // Convenience: pushes a whole time-sorted trace record by record.
+  void Push(const trace::Trace& trace);
+
+  // Declares that the clock reached `ts_us`: closes every bin that ends at
+  // or before it (empty bins included) without pushing a packet. This is how
+  // live drivers close idle bins and how mid-run arrivals are sequenced
+  // ("AdvanceTime(bin_start); AddQuery(...)" adds the query exactly at that
+  // bin, Fig. 6.9 style).
+  void AdvanceTime(uint64_t ts_us);
+
+  // Closes the open bin (if it holds packets), flushes partially filled
+  // measurement intervals, and fires OnRunEnd on the observers. Idempotent;
+  // no packets may be pushed afterwards.
+  void Finish();
+  bool finished() const { return finished_; }
+
+  // ---- Introspection -----------------------------------------------------
+  const core::MonitoringSystem& system() const { return *system_; }
+  const std::vector<core::BinLog>& log() const { return system_->log(); }
+  size_t bins_processed() const { return bins_processed_; }
+  size_t num_queries() const { return system_->num_queries(); }
+  uint64_t total_packets() const { return system_->total_packets(); }
+  uint64_t total_dropped() const { return system_->total_dropped(); }
+  uint64_t time_bin_us() const { return bin_us_; }
+
+  // Index-based accuracy twins of the QueryHandle accessors (index = current
+  // registration order), for whole-run summaries.
+  query::AccuracyRow AccuracyAt(size_t index) const;
+  double MeanAccuracyAt(size_t index) const;
+  double AverageAccuracy() const;  // across accuracy-tracked queries
+  double MinimumAccuracy() const;  // worst accuracy-tracked query
+
+  // ---- Compatibility extraction ------------------------------------------
+  // Moves the finished run's guts out for core::RunResult (the thin
+  // RunSystemOnTrace wrapper). Only valid after Finish(); the pipeline is
+  // dead afterwards.
+  std::unique_ptr<core::MonitoringSystem> ReleaseSystem();
+  std::vector<std::unique_ptr<query::Query>> ReleaseReferences();
+
+ private:
+  friend class PipelineBuilder;
+  friend class QueryHandle;
+
+  // Pipeline-side state for one registered query, parallel to the system's
+  // registration order (slots_[i] <-> system query i).
+  struct Slot {
+    uint64_t id = 0;
+    std::unique_ptr<query::Query> reference;  // null when not tracked
+    size_t ref_bins_in_interval = 0;
+  };
+
+  Pipeline(const core::SystemConfig& config, std::unique_ptr<core::CostOracle> oracle,
+           bool track_accuracy, bool default_min_rates);
+
+  size_t FindSlot(uint64_t id) const noexcept;  // npos when unknown/removed
+  size_t SlotIndex(uint64_t id) const;          // throws std::logic_error when stale
+  QueryHandle Register(const core::QueryConfig& config, std::unique_ptr<query::Query> query,
+                       std::unique_ptr<query::Query> reference);
+  // Appends one record to the open bin, closing earlier bins first; null
+  // payload bytes mean "materialize deterministically from the record".
+  void AppendRecord(const net::PacketRecord& record, const uint8_t* payload_bytes);
+  // Closes bins until `bin_index` is the open one.
+  void FlushThrough(uint64_t bin_index);
+  // Processes the open bin's packets (possibly none), advances the reference
+  // instances, and fires the observers.
+  void CloseOpenBin();
+  void RunReferences();
+  void NotifyObservers();
+  void EnsureOpen(std::string_view op) const;
+
+  bool track_accuracy_;
+  bool default_min_rates_;
+  std::unique_ptr<core::MonitoringSystem> system_;
+  std::vector<Slot> slots_;
+  uint64_t next_id_ = 1;
+
+  // Open-bin assembler: records and payload bytes accumulate in push order;
+  // Packet views are fixed up against the final buffer addresses when the
+  // bin closes, so mid-bin reallocation is harmless.
+  uint64_t bin_us_;
+  uint64_t open_bin_ = 0;
+  std::vector<net::PacketRecord> records_;
+  std::vector<size_t> payload_offsets_;
+  std::vector<uint8_t> arena_;
+  uint64_t wire_bytes_ = 0;
+  trace::Batch batch_;  // reused scratch; views point into records_/arena_
+
+  std::vector<BinObserver*> observers_;
+  std::vector<std::unique_ptr<BinObserver>> owned_observers_;
+  size_t bins_processed_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace shedmon::api
+
+namespace shedmon {
+// The facade is the supported public surface; hoist it to the top-level
+// namespace so consumers write shedmon::Pipeline.
+using api::BinObserver;
+using api::BinStats;
+using api::DetachedQuery;
+using api::Pipeline;
+using api::PipelineBuilder;
+using api::QueryHandle;
+}  // namespace shedmon

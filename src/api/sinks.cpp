@@ -1,0 +1,107 @@
+#include "src/api/sinks.h"
+
+#include <stdexcept>
+
+namespace shedmon::api {
+
+namespace {
+
+std::ofstream OpenOrThrow(const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) {
+    throw std::runtime_error("bin sink: cannot open '" + path + "' for writing");
+  }
+  return file;
+}
+
+// Query names are plain identifiers today, but a user query can be named
+// anything; escape the characters that would break a JSON string.
+void WriteJsonString(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+CsvBinSink::CsvBinSink(std::ostream& out) : out_(&out) {}
+
+CsvBinSink::CsvBinSink(const std::string& path) : file_(OpenOrThrow(path)), out_(&file_) {}
+
+void CsvBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
+  if (!header_written_) {
+    *out_ << "bin,start_us,num_queries,packets_in,packets_dropped,packets_unsampled,"
+             "batch_dropped,overload,predicted_cycles,avail_cycles,query_cycles,ps_cycles,"
+             "ls_cycles,como_cycles,backlog_cycles,rtthresh,utilization,drop_fraction,"
+             "shed_fraction\n";
+    header_written_ = true;
+  }
+  *out_ << stats.bin_index << ',' << log.start_us << ',' << stats.num_queries << ','
+        << log.packets_in << ',' << log.packets_dropped << ',' << log.packets_unsampled << ','
+        << (log.batch_dropped ? 1 : 0) << ',' << (log.overload ? 1 : 0) << ','
+        << log.predicted_cycles << ',' << log.avail_cycles << ',' << log.query_cycles << ','
+        << log.ps_cycles << ',' << log.ls_cycles << ',' << log.como_cycles << ','
+        << log.backlog_cycles << ',' << log.rtthresh << ',' << stats.utilization << ','
+        << stats.drop_fraction << ',' << stats.shed_fraction << '\n';
+}
+
+void CsvBinSink::OnRunEnd() { out_->flush(); }
+
+JsonlBinSink::JsonlBinSink(std::ostream& out) : out_(&out) {}
+
+JsonlBinSink::JsonlBinSink(const std::string& path) : file_(OpenOrThrow(path)), out_(&file_) {}
+
+void JsonlBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
+  std::ostream& out = *out_;
+  out << "{\"bin\":" << stats.bin_index << ",\"start_us\":" << log.start_us
+      << ",\"packets_in\":" << log.packets_in
+      << ",\"packets_dropped\":" << log.packets_dropped
+      << ",\"packets_unsampled\":" << log.packets_unsampled
+      << ",\"batch_dropped\":" << (log.batch_dropped ? "true" : "false")
+      << ",\"overload\":" << (log.overload ? "true" : "false")
+      << ",\"predicted_cycles\":" << log.predicted_cycles
+      << ",\"avail_cycles\":" << log.avail_cycles << ",\"query_cycles\":" << log.query_cycles
+      << ",\"ps_cycles\":" << log.ps_cycles << ",\"ls_cycles\":" << log.ls_cycles
+      << ",\"como_cycles\":" << log.como_cycles << ",\"backlog_cycles\":" << log.backlog_cycles
+      << ",\"utilization\":" << stats.utilization << ",\"queries\":[";
+  for (size_t q = 0; q < stats.query_names.size(); ++q) {
+    if (q > 0) {
+      out << ',';
+    }
+    WriteJsonString(out, stats.query_names[q]);
+  }
+  out << "],\"rate\":[";
+  for (size_t q = 0; q < log.rate.size(); ++q) {
+    out << (q > 0 ? "," : "") << log.rate[q];
+  }
+  out << "],\"per_query_cycles\":[";
+  for (size_t q = 0; q < log.per_query_cycles.size(); ++q) {
+    out << (q > 0 ? "," : "") << log.per_query_cycles[q];
+  }
+  out << "],\"disabled\":[";
+  for (size_t q = 0; q < log.disabled.size(); ++q) {
+    out << (q > 0 ? "," : "") << (log.disabled[q] ? "true" : "false");
+  }
+  out << "]}\n";
+}
+
+void JsonlBinSink::OnRunEnd() { out_->flush(); }
+
+}  // namespace shedmon::api

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "src/api/pipeline.h"
+
+namespace shedmon::api {
+
+// Ready-made BinObservers that stream every closed bin to a file or ostream.
+// Both write on the coordinator thread (Pipeline guarantees OnBin runs
+// there, in bin order) and flush from OnRunEnd; the file-path constructors
+// own the stream and throw std::runtime_error when the file cannot be
+// opened.
+
+// One CSV row per bin with the BinLog's scalar fields plus derived stats.
+// Per-query columns would change arity on mid-run add/remove, so per-query
+// detail is the JSONL sink's job; CSV stays fixed-width for spreadsheets.
+class CsvBinSink : public BinObserver {
+ public:
+  explicit CsvBinSink(std::ostream& out);
+  explicit CsvBinSink(const std::string& path);
+
+  void OnBin(const core::BinLog& log, const BinStats& stats) override;
+  void OnRunEnd() override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+  bool header_written_ = false;
+};
+
+// One JSON object per line per bin, including the per-query arrays (names,
+// rates, cycles, disabled flags) so mid-run arrivals and removals are
+// visible as changing array lengths.
+class JsonlBinSink : public BinObserver {
+ public:
+  explicit JsonlBinSink(std::ostream& out);
+  explicit JsonlBinSink(const std::string& path);
+
+  void OnBin(const core::BinLog& log, const BinStats& stats) override;
+  void OnRunEnd() override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+};
+
+}  // namespace shedmon::api
+
+namespace shedmon {
+using api::CsvBinSink;
+using api::JsonlBinSink;
+}  // namespace shedmon

@@ -142,6 +142,19 @@ double ModelCostOracle::RunAt(uint64_t seq, WorkKind kind, const WorkHint& hint,
   return 0.0;
 }
 
+void ModelCostOracle::OnQueryAdded(const query::Query* query) {
+  if (query == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_work_[query] = query->work_units();
+}
+
+void ModelCostOracle::OnQueryRemoved(const query::Query* query) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_work_.erase(query);
+}
+
 double ModelCostOracle::DefaultBinBudget(uint64_t bin_us) const {
   // The model's cycle scale is arbitrary; 6e5 cycles per 100 ms roughly fits
   // the default traces' per-bin demand, but experiments set capacity via K.

@@ -1,10 +1,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/query/query.h"
@@ -65,6 +66,15 @@ class CostOracle {
     return Run(kind, hint, fn);
   }
 
+  // Query lifecycle hints from the owning system. OnQueryAdded (re)baselines
+  // any per-query bookkeeping to the query's current state — a no-op for a
+  // fresh instance, and exactly what makes a re-registered veteran instance
+  // charge only its new work. OnQueryRemoved drops the bookkeeping so a
+  // later allocation reusing the address can never inherit a stale baseline.
+  // Default no-ops for oracles without per-query state.
+  virtual void OnQueryAdded(const query::Query* query) { (void)query; }
+  virtual void OnQueryRemoved(const query::Query* query) { (void)query; }
+
   // Cycle budget corresponding to one wall-clock time bin on this oracle's
   // scale; experiments usually override capacity explicitly instead.
   virtual double DefaultBinBudget(uint64_t bin_us) const = 0;
@@ -95,6 +105,8 @@ class ModelCostOracle : public CostOracle {
   uint64_t ReserveSequence(uint64_t n) override;
   double RunAt(uint64_t seq, WorkKind kind, const WorkHint& hint,
                const std::function<void()>& fn) override;
+  void OnQueryAdded(const query::Query* query) override;
+  void OnQueryRemoved(const query::Query* query) override;
   double DefaultBinBudget(uint64_t bin_us) const override;
   std::string_view name() const override { return "model"; }
 

@@ -2,32 +2,14 @@
 
 #include <algorithm>
 
-#include "src/exec/thread_pool.h"
 #include "src/features/extractor.h"
 #include "src/query/queries.h"
 #include "src/util/stats.h"
 
+// RunSystemOnTrace lives in src/api/run.cpp: it is a thin wrapper over the
+// api::Pipeline facade, which sits above core in the dependency DAG.
+
 namespace shedmon::core {
-
-namespace {
-
-// Parallel twin of query::RunReference: each worker runs the serial helper
-// for a single-query name list, so there is exactly one implementation of
-// the reference semantics and the pool path cannot drift from it. Reference
-// instances never interact, so results are identical to one serial
-// RunReference call over all names regardless of scheduling.
-std::vector<std::unique_ptr<query::Query>> RunReferenceOnPool(
-    const std::vector<std::string>& names, const trace::Trace& trace, uint64_t bin_us,
-    exec::ThreadPool& pool) {
-  std::vector<std::unique_ptr<query::Query>> queries(names.size());
-  pool.ParallelFor(0, names.size(), 1, [&](size_t q) {
-    auto one = query::RunReference({names[q]}, trace, bin_us);
-    queries[q] = std::move(one.front());
-  });
-  return queries;
-}
-
-}  // namespace
 
 double DefaultMinRate(std::string_view query_name) {
   if (query_name == "application") {
@@ -88,37 +70,6 @@ double RunResult::MinimumAccuracy() const {
     min = std::min(min, MeanAccuracy(i));
   }
   return min;
-}
-
-RunResult RunSystemOnTrace(const RunSpec& spec, const trace::Trace& trace) {
-  RunResult result;
-  result.system =
-      std::make_unique<MonitoringSystem>(spec.system, MakeOracle(spec.oracle));
-  for (size_t i = 0; i < spec.query_names.size(); ++i) {
-    QueryConfig qc;
-    if (i < spec.query_configs.size()) {
-      qc = spec.query_configs[i];
-    } else if (spec.use_default_min_rates) {
-      qc.min_sampling_rate = DefaultMinRate(spec.query_names[i]);
-    }
-    result.system->AddQuery(query::MakeQuery(spec.query_names[i]), qc);
-  }
-
-  trace::Batcher batcher(trace, spec.system.time_bin_us);
-  trace::Batch batch;
-  while (batcher.Next(batch)) {
-    result.system->ProcessBatch(batch);
-  }
-  result.system->Finish();
-
-  if (spec.system.num_threads > 0) {
-    exec::ThreadPool pool(spec.system.num_threads);
-    result.reference =
-        RunReferenceOnPool(spec.query_names, trace, spec.system.time_bin_us, pool);
-  } else {
-    result.reference = query::RunReference(spec.query_names, trace, spec.system.time_bin_us);
-  }
-  return result;
 }
 
 double MeasureMeanDemand(const std::vector<std::string>& names, const trace::Trace& trace,

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/system.h"
@@ -43,6 +46,12 @@ struct RunResult {
 // per-query pipeline stages *and* the reference instances run on an
 // exec::ThreadPool; results are bit-identical to the serial run (see
 // SystemConfig::num_threads).
+//
+// Batch-mode compatibility wrapper: since the api::Pipeline facade became
+// the supported entry point this is a thin shim over api::RunTrace, defined
+// in src/api/run.cpp (the facade sits above core in the dependency DAG).
+// Callers must link shedmon::shedmon (or shedmon::shedmon_api). New code
+// should use shedmon::PipelineBuilder directly.
 RunResult RunSystemOnTrace(const RunSpec& spec, const trace::Trace& trace);
 
 // Mean per-bin cycles demanded by full (unsampled) processing of the given

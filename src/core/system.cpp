@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <stdexcept>
 
 namespace shedmon::core {
 
@@ -40,7 +42,23 @@ query::Query& MonitoringSystem::AddQuery(std::unique_ptr<query::Query> query,
       shed::PacketSampler(rng_.NextU64()), shed::FlowSampler(rng_.NextU64()),
       shed::EnforcementPolicy(config_.enforcement), 0, 0.0, {}});
   queries_.push_back(std::move(runtime));
+  // Baseline the oracle's per-query bookkeeping: a no-op for fresh
+  // instances, and what keeps a re-registered veteran instance charged only
+  // for its new work.
+  oracle_->OnQueryAdded(queries_.back()->query.get());
   return *queries_.back()->query;
+}
+
+std::unique_ptr<query::Query> MonitoringSystem::RemoveQuery(size_t index) {
+  if (index >= queries_.size()) {
+    throw std::out_of_range("MonitoringSystem::RemoveQuery: no query at this index");
+  }
+  std::unique_ptr<query::Query> query = std::move(queries_[index]->query);
+  queries_.erase(queries_.begin() + static_cast<std::ptrdiff_t>(index));
+  // Drop the oracle's baseline for this instance so a future allocation
+  // reusing the address can never inherit a stale work counter.
+  oracle_->OnQueryRemoved(query.get());
+  return query;
 }
 
 void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -122,6 +124,12 @@ class MonitoringSystem {
   // Registers a query before or between batches (Fig. 6.9 adds them mid-run).
   query::Query& AddQuery(std::unique_ptr<query::Query> query, const QueryConfig& config = {});
 
+  // Unregisters the query at `index` between batches and returns it so its
+  // results stay readable. Later queries shift down one index, which is why
+  // the supported public surface (api::Pipeline) hands out stable handles
+  // instead of indices. Throws std::out_of_range on a bad index.
+  std::unique_ptr<query::Query> RemoveQuery(size_t index);
+
   void ProcessBatch(const trace::Batch& batch);
   // Flushes any partially filled measurement intervals at end of input.
   void Finish();
@@ -135,6 +143,10 @@ class MonitoringSystem {
 
   const SystemConfig& config() const { return config_; }
   double capacity() const { return capacity_; }
+  // Worker pool behind num_threads; null when the system runs serially. The
+  // facade reuses it between batches (e.g. for reference instances); it must
+  // only be driven from the coordinating thread, never from inside a batch.
+  exec::ThreadPool* pool() const { return pool_.get(); }
 
   uint64_t total_packets() const { return total_packets_; }
   uint64_t total_dropped() const { return total_dropped_; }

@@ -1,11 +1,15 @@
 #pragma once
 
 #include <array>
-#include <map>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <set>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/net/packet.h"

@@ -1,0 +1,643 @@
+// shedmon::Pipeline facade tests: the golden equivalence suite (a
+// Pipeline-driven run produces field-exact BinLogs and accuracies vs. the
+// pre-refactor batch path, serial and threaded, including mid-run query
+// arrivals), QueryHandle add/remove semantics, observer ordering on the
+// coordinator thread at any thread count, and the CSV/JSONL sinks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/api/pipeline.h"
+#include "src/api/run.h"
+#include "src/api/sinks.h"
+#include "src/core/runner.h"
+#include "src/query/queries.h"
+#include "src/trace/batch.h"
+#include "src/trace/generator.h"
+#include "src/trace/spec.h"
+
+namespace shedmon {
+namespace {
+
+const trace::Trace& SharedTrace() {
+  static const trace::Trace trace = [] {
+    trace::TraceSpec spec = trace::CescaII();
+    spec.duration_s = 3.0;
+    return trace::TraceGenerator(spec).Generate();
+  }();
+  return trace;
+}
+
+// The pre-refactor core::RunSystemOnTrace, replicated verbatim (modulo the
+// serial reference helper): the golden batch path every Pipeline run must
+// reproduce bit for bit. Kept in the test so the facade can never drift from
+// the historical semantics unnoticed.
+core::RunResult GoldenRunSystemOnTrace(const core::RunSpec& spec, const trace::Trace& trace) {
+  core::RunResult result;
+  result.system =
+      std::make_unique<core::MonitoringSystem>(spec.system, core::MakeOracle(spec.oracle));
+  for (size_t i = 0; i < spec.query_names.size(); ++i) {
+    core::QueryConfig qc;
+    if (i < spec.query_configs.size()) {
+      qc = spec.query_configs[i];
+    } else if (spec.use_default_min_rates) {
+      qc.min_sampling_rate = core::DefaultMinRate(spec.query_names[i]);
+    }
+    result.system->AddQuery(query::MakeQuery(spec.query_names[i]), qc);
+  }
+
+  trace::Batcher batcher(trace, spec.system.time_bin_us);
+  trace::Batch batch;
+  while (batcher.Next(batch)) {
+    result.system->ProcessBatch(batch);
+  }
+  result.system->Finish();
+
+  result.reference = query::RunReference(spec.query_names, trace, spec.system.time_bin_us);
+  return result;
+}
+
+void ExpectBinLogsIdentical(const std::vector<core::BinLog>& golden,
+                            const std::vector<core::BinLog>& actual) {
+  ASSERT_EQ(golden.size(), actual.size());
+  for (size_t b = 0; b < golden.size(); ++b) {
+    SCOPED_TRACE("bin " + std::to_string(b));
+    const core::BinLog& g = golden[b];
+    const core::BinLog& a = actual[b];
+    EXPECT_EQ(g.start_us, a.start_us);
+    EXPECT_EQ(g.packets_in, a.packets_in);
+    EXPECT_EQ(g.packets_dropped, a.packets_dropped);
+    EXPECT_EQ(g.packets_unsampled, a.packets_unsampled);
+    EXPECT_EQ(g.batch_dropped, a.batch_dropped);
+    EXPECT_EQ(g.overload, a.overload);
+    EXPECT_EQ(g.predicted_cycles, a.predicted_cycles);
+    EXPECT_EQ(g.avail_cycles, a.avail_cycles);
+    EXPECT_EQ(g.query_cycles, a.query_cycles);
+    EXPECT_EQ(g.ps_cycles, a.ps_cycles);
+    EXPECT_EQ(g.ls_cycles, a.ls_cycles);
+    EXPECT_EQ(g.como_cycles, a.como_cycles);
+    EXPECT_EQ(g.backlog_cycles, a.backlog_cycles);
+    EXPECT_EQ(g.rtthresh, a.rtthresh);
+    EXPECT_EQ(g.rate, a.rate);
+    EXPECT_EQ(g.per_query_cycles, a.per_query_cycles);
+    EXPECT_EQ(g.disabled, a.disabled);
+  }
+}
+
+core::RunSpec SpecFor(const std::vector<std::string>& names, core::ShedderKind shedder,
+                      shed::StrategyKind strategy, bool custom, size_t threads) {
+  core::RunSpec spec;
+  spec.system.shedder = shedder;
+  spec.system.strategy = strategy;
+  spec.system.enable_custom_shedding = custom;
+  spec.system.num_threads = threads;
+  spec.system.cycles_per_bin =
+      0.5 * core::MeasureMeanDemand(names, SharedTrace(), core::OracleKind::kModel);
+  spec.query_names = names;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: Pipeline vs pre-refactor batch path
+// ---------------------------------------------------------------------------
+
+struct GoldenCase {
+  std::string label;
+  std::vector<std::string> names;
+  core::ShedderKind shedder = core::ShedderKind::kPredictive;
+  shed::StrategyKind strategy = shed::StrategyKind::kMmfsPkt;
+  bool custom = false;
+};
+
+class PipelineGolden : public ::testing::TestWithParam<std::tuple<GoldenCase, size_t>> {};
+
+TEST_P(PipelineGolden, BinLogsAndAccuraciesMatchPreRefactorPath) {
+  const auto& [config, threads] = GetParam();
+  const core::RunSpec spec =
+      SpecFor(config.names, config.shedder, config.strategy, config.custom, threads);
+
+  const core::RunResult golden = GoldenRunSystemOnTrace(spec, SharedTrace());
+
+  auto pipeline = api::PipelineBuilder::FromRunSpec(spec).BuildUnique();
+  std::vector<api::QueryHandle> handles;
+  for (const auto& name : config.names) {
+    handles.push_back(pipeline->AddQuery(name));
+  }
+  pipeline->Push(SharedTrace());
+  pipeline->Finish();
+
+  EXPECT_EQ(golden.system->total_packets(), pipeline->total_packets());
+  EXPECT_EQ(golden.system->total_dropped(), pipeline->total_dropped());
+  ExpectBinLogsIdentical(golden.system->log(), pipeline->log());
+  for (size_t q = 0; q < config.names.size(); ++q) {
+    SCOPED_TRACE(config.names[q]);
+    const query::AccuracyRow want = golden.Accuracy(q);
+    const query::AccuracyRow live = handles[q].Accuracy();
+    EXPECT_EQ(want.mean_error, live.mean_error);
+    EXPECT_EQ(want.stdev_error, live.stdev_error);
+    EXPECT_EQ(golden.MeanAccuracy(q), handles[q].MeanAccuracy());
+  }
+  EXPECT_EQ(golden.AverageAccuracy(), pipeline->AverageAccuracy());
+  EXPECT_EQ(golden.MinimumAccuracy(), pipeline->MinimumAccuracy());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShedderStrategySweep, PipelineGolden,
+    ::testing::Combine(
+        ::testing::Values(
+            GoldenCase{"predictive_mmfs_pkt",
+                       {"counter", "flows", "top-k"},
+                       core::ShedderKind::kPredictive,
+                       shed::StrategyKind::kMmfsPkt,
+                       false},
+            GoldenCase{"predictive_eq_srates",
+                       {"counter", "flows"},
+                       core::ShedderKind::kPredictive,
+                       shed::StrategyKind::kEqSrates,
+                       false},
+            GoldenCase{"reactive",
+                       {"counter", "flows"},
+                       core::ShedderKind::kReactive,
+                       shed::StrategyKind::kEqSrates,
+                       false},
+            GoldenCase{"no_shed",
+                       {"counter", "flows"},
+                       core::ShedderKind::kNoShed,
+                       shed::StrategyKind::kEqSrates,
+                       false},
+            GoldenCase{"predictive_custom",
+                       {"high-watermark", "p2p-detector", "counter"},
+                       core::ShedderKind::kPredictive,
+                       shed::StrategyKind::kMmfsPkt,
+                       true}),
+        ::testing::Values(size_t{0}, size_t{2}, size_t{4})),
+    [](const auto& info) {
+      return std::get<0>(info.param).label + "_threads" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The wrapper itself (core::RunSystemOnTrace is now a shim over the facade)
+// must also match the golden path exactly.
+TEST(PipelineGoldenWrapper, RunSystemOnTraceStillMatchesGoldenPath) {
+  for (const size_t threads : {size_t{0}, size_t{2}}) {
+    const core::RunSpec spec = SpecFor({"counter", "flows"}, core::ShedderKind::kPredictive,
+                                       shed::StrategyKind::kMmfsPkt, false, threads);
+    const core::RunResult golden = GoldenRunSystemOnTrace(spec, SharedTrace());
+    const core::RunResult wrapped = core::RunSystemOnTrace(spec, SharedTrace());
+    ExpectBinLogsIdentical(golden.system->log(), wrapped.system->log());
+    for (size_t q = 0; q < spec.query_names.size(); ++q) {
+      EXPECT_EQ(golden.Accuracy(q).mean_error, wrapped.Accuracy(q).mean_error);
+      EXPECT_EQ(golden.Accuracy(q).stdev_error, wrapped.Accuracy(q).stdev_error);
+    }
+  }
+}
+
+// Mid-run query arrival (Fig. 6.9 shape): golden = manual batch loop adding
+// a query between two ProcessBatch calls; pipeline = AdvanceTime + AddQuery
+// at the same bin boundary while pushing raw packets.
+TEST(PipelineGoldenArrival, MidRunAddQueryMatchesManualBatchLoop) {
+  const std::vector<std::string> initial = {"counter", "flows"};
+  const std::string arrival = "top-k";
+  constexpr uint64_t kBinUs = 100'000;
+  constexpr size_t kArrivalBin = 12;
+  const double demand =
+      core::MeasureMeanDemand({"counter", "flows", "top-k"}, SharedTrace(),
+                              core::OracleKind::kModel);
+
+  for (const size_t threads : {size_t{0}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    core::SystemConfig cfg;
+    cfg.shedder = core::ShedderKind::kPredictive;
+    cfg.strategy = shed::StrategyKind::kMmfsPkt;
+    cfg.cycles_per_bin = 0.5 * demand;
+    cfg.num_threads = threads;
+
+    // Golden: the manual loop the fig6.9 driver used before the facade.
+    core::MonitoringSystem golden(cfg, core::MakeOracle(core::OracleKind::kModel));
+    for (const auto& name : initial) {
+      golden.AddQuery(query::MakeQuery(name), {core::DefaultMinRate(name), true});
+    }
+    trace::Batcher batcher(SharedTrace(), kBinUs);
+    trace::Batch batch;
+    size_t bin = 0;
+    while (batcher.Next(batch)) {
+      if (bin == kArrivalBin) {
+        golden.AddQuery(query::MakeQuery(arrival), {core::DefaultMinRate(arrival), true});
+      }
+      golden.ProcessBatch(batch);
+      ++bin;
+    }
+    golden.Finish();
+    ASSERT_GT(bin, kArrivalBin) << "trace too short for the arrival scenario";
+
+    // Facade: push packets, sequence the arrival with AdvanceTime.
+    auto pipeline = api::PipelineBuilder().Config(cfg).BuildUnique();
+    for (const auto& name : initial) {
+      pipeline->AddQuery(name);
+    }
+    bool added = false;
+    for (const net::PacketRecord& packet : SharedTrace().packets) {
+      if (!added && packet.ts_us >= kArrivalBin * kBinUs) {
+        pipeline->AdvanceTime(kArrivalBin * kBinUs);
+        pipeline->AddQuery(arrival);
+        added = true;
+      }
+      pipeline->Push(packet);
+    }
+    pipeline->Finish();
+    ASSERT_TRUE(added);
+
+    EXPECT_EQ(golden.total_packets(), pipeline->total_packets());
+    EXPECT_EQ(golden.total_dropped(), pipeline->total_dropped());
+    ExpectBinLogsIdentical(golden.log(), pipeline->log());
+    // The late query's results match too: compare against a fresh reference
+    // run of the same post-arrival stream the golden system saw.
+    EXPECT_EQ(golden.num_queries(), pipeline->num_queries());
+    for (size_t q = 0; q < golden.num_queries(); ++q) {
+      EXPECT_EQ(golden.query(q).completed_intervals(),
+                pipeline->system().query(q).completed_intervals());
+      EXPECT_EQ(golden.query(q).work_units(), pipeline->system().query(q).work_units());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Push ingestion semantics
+// ---------------------------------------------------------------------------
+
+TEST(PipelinePush, PacketViewSpansMatchRecordPush) {
+  const core::RunSpec spec = SpecFor({"counter", "pattern-search"},
+                                     core::ShedderKind::kPredictive,
+                                     shed::StrategyKind::kMmfsPkt, false, 0);
+
+  auto by_record = api::PipelineBuilder::FromRunSpec(spec).BuildUnique();
+  by_record->AddQuery("counter");
+  by_record->AddQuery("pattern-search");
+  by_record->Push(SharedTrace());
+  by_record->Finish();
+
+  // Same traffic, ingested as materialized Packet views batch by batch (the
+  // shape a live capture path would use); payload bytes are copied.
+  auto by_view = api::PipelineBuilder::FromRunSpec(spec).BuildUnique();
+  by_view->AddQuery("counter");
+  by_view->AddQuery("pattern-search");
+  trace::Batcher batcher(SharedTrace(), spec.system.time_bin_us);
+  trace::Batch batch;
+  while (batcher.Next(batch)) {
+    by_view->Push(std::span<const net::Packet>(batch.packets));
+    // Recycling the batch right after Push must be safe: views were copied.
+  }
+  by_view->Finish();
+
+  ExpectBinLogsIdentical(by_record->log(), by_view->log());
+}
+
+TEST(PipelinePush, RejectsPacketsOlderThanTheOpenBin) {
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  pipeline->AddQuery("counter");
+  net::PacketRecord record;
+  record.ts_us = 250'000;
+  pipeline->Push(record);
+  net::PacketRecord late;
+  late.ts_us = 90'000;  // bin 0, but bin 2 is open
+  EXPECT_THROW(pipeline->Push(late), std::invalid_argument);
+  // Same-bin and later packets still flow.
+  record.ts_us = 260'000;
+  pipeline->Push(record);
+  pipeline->Finish();
+  EXPECT_EQ(pipeline->bins_processed(), 3u);
+}
+
+TEST(PipelinePush, AdvanceTimeClosesEmptyBins) {
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  pipeline->AddQuery("counter");
+  pipeline->AdvanceTime(500'000);  // five empty bins
+  EXPECT_EQ(pipeline->bins_processed(), 5u);
+  for (const auto& bin : pipeline->log()) {
+    EXPECT_EQ(bin.packets_in, 0u);
+  }
+  pipeline->Finish();
+  EXPECT_EQ(pipeline->bins_processed(), 5u);  // Finish adds no empty bin
+}
+
+TEST(PipelinePush, FinishIsIdempotentAndClosesThePipeline) {
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  pipeline->AddQuery("counter");
+  net::PacketRecord record;
+  record.ts_us = 10;
+  pipeline->Push(record);
+  pipeline->Finish();
+  EXPECT_EQ(pipeline->bins_processed(), 1u);
+  pipeline->Finish();  // no-op
+  EXPECT_EQ(pipeline->bins_processed(), 1u);
+  EXPECT_TRUE(pipeline->finished());
+  EXPECT_THROW(pipeline->Push(record), std::logic_error);
+  EXPECT_THROW(pipeline->AddQuery("flows"), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// QueryHandle lifecycle: mid-run add, remove/detach, stable handles
+// ---------------------------------------------------------------------------
+
+TEST(PipelineHandles, DetachReturnsQueryAndReferenceAndInvalidatesHandle) {
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  api::QueryHandle counter = pipeline->AddQuery("counter");
+  api::QueryHandle flows = pipeline->AddQuery("flows");
+  ASSERT_TRUE(counter.valid());
+  EXPECT_EQ(counter.index(), 0u);
+  EXPECT_EQ(flows.index(), 1u);
+
+  // Run a little over both queries, then detach the first mid-run.
+  for (const net::PacketRecord& packet : SharedTrace().packets) {
+    if (packet.ts_us >= 15 * 100'000) {
+      break;
+    }
+    pipeline->Push(packet);
+  }
+  pipeline->AdvanceTime(15 * 100'000);
+  ASSERT_EQ(pipeline->bins_processed(), 15u);
+
+  api::DetachedQuery detached = pipeline->Detach(counter);
+  ASSERT_NE(detached.query, nullptr);
+  ASSERT_NE(detached.reference, nullptr);
+  EXPECT_EQ(detached.query->name(), "counter");
+  EXPECT_FALSE(counter.valid());
+  EXPECT_THROW(counter.query(), std::logic_error);
+  EXPECT_THROW(pipeline->Detach(counter), std::logic_error);
+
+  // The surviving handle shifted down but still addresses its query.
+  EXPECT_TRUE(flows.valid());
+  EXPECT_EQ(flows.index(), 0u);
+  EXPECT_EQ(flows.name(), "flows");
+  EXPECT_EQ(pipeline->num_queries(), 1u);
+
+  // Later bins are sized for the remaining query only.
+  pipeline->AdvanceTime(20 * 100'000);
+  pipeline->Finish();
+  EXPECT_EQ(pipeline->log().back().rate.size(), 1u);
+  // The detached pair still yields the standard accuracy summary.
+  const auto row = query::SummarizeAccuracy(*detached.query, *detached.reference);
+  EXPECT_GE(row.mean_error, 0.0);
+  EXPECT_TRUE(flows.has_reference());
+  EXPECT_GE(flows.Accuracy().mean_error, 0.0);
+}
+
+TEST(PipelineHandles, RemovedQueryStopsAffectingTheRun) {
+  // A pipeline where the expensive query leaves matches a fresh system that
+  // continues with the survivor's state — we can't replay history, but the
+  // column count and rate allocation must reflect the removal immediately.
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  api::QueryHandle counter = pipeline->AddQuery("counter");
+  api::QueryHandle pattern = pipeline->AddQuery("pattern-search");
+  pipeline->AdvanceTime(10 * 100'000);
+  EXPECT_EQ(pipeline->log().back().rate.size(), 2u);
+  pipeline->Remove(pattern);
+  pipeline->AdvanceTime(12 * 100'000);
+  pipeline->Finish();
+  EXPECT_EQ(pipeline->log().back().rate.size(), 1u);
+  EXPECT_FALSE(pattern.valid());
+  EXPECT_TRUE(counter.valid());
+}
+
+TEST(PipelineHandles, UserQueryWithoutReferenceHasNoAccuracy) {
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  api::QueryHandle custom =
+      pipeline->AddQuery(std::make_unique<query::CounterQuery>(), {0.1, true});
+  EXPECT_FALSE(custom.has_reference());
+  EXPECT_THROW(custom.Accuracy(), std::logic_error);
+  EXPECT_THROW((void)pipeline->AddQuery(std::unique_ptr<query::Query>()),
+               std::invalid_argument);
+}
+
+TEST(PipelineHandles, TrackAccuracyOffSkipsReferences) {
+  auto pipeline = api::PipelineBuilder().TrackAccuracy(false).BuildUnique();
+  api::QueryHandle counter = pipeline->AddQuery("counter");
+  EXPECT_FALSE(counter.has_reference());
+  EXPECT_THROW(counter.Accuracy(), std::logic_error);
+  EXPECT_EQ(pipeline->AverageAccuracy(), 0.0);
+}
+
+TEST(PipelineHandles, UnattachedAndReleasedHandlesThrowInsteadOfCrashing) {
+  api::QueryHandle unattached;
+  EXPECT_FALSE(unattached.valid());
+  EXPECT_THROW(unattached.index(), std::logic_error);
+  EXPECT_THROW(unattached.name(), std::logic_error);
+  EXPECT_THROW(unattached.query(), std::logic_error);
+  EXPECT_THROW(unattached.reference(), std::logic_error);
+  EXPECT_THROW(unattached.Accuracy(), std::logic_error);
+
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  api::QueryHandle counter = pipeline->AddQuery("counter");
+  pipeline->Finish();
+  (void)pipeline->ReleaseSystem();
+  EXPECT_FALSE(counter.valid());
+  EXPECT_THROW(counter.query(), std::logic_error);
+  EXPECT_THROW(counter.name(), std::logic_error);
+}
+
+TEST(PipelineHandles, ZeroTimeBinIsRejectedAtBuild) {
+  EXPECT_THROW(api::PipelineBuilder().TimeBin(0).BuildUnique(), std::invalid_argument);
+  core::SystemConfig config;
+  config.time_bin_us = 0;
+  EXPECT_THROW(api::PipelineBuilder().Config(config).BuildUnique(), std::invalid_argument);
+}
+
+TEST(PipelineHandles, ReAddedDetachedQueryIsChargedOnlyForNewWork) {
+  // The oracle charges the delta of the query's lifetime work counter. A
+  // detached instance that re-joins must be re-baselined (not charged its
+  // whole history), and its old baseline must not linger for whatever
+  // allocation reuses the address (CostOracle::OnQueryAdded/OnQueryRemoved).
+  auto pipeline = api::PipelineBuilder().Shedder(core::ShedderKind::kNoShed).BuildUnique();
+  api::QueryHandle counter = pipeline->AddQuery("counter");
+  for (const net::PacketRecord& packet : SharedTrace().packets) {
+    if (packet.ts_us >= 100'000) {
+      break;
+    }
+    pipeline->Push(packet);
+  }
+  pipeline->AdvanceTime(100'000);
+  const double first_charge = pipeline->log()[0].per_query_cycles[0];
+  ASSERT_GT(first_charge, 0.0);
+
+  api::DetachedQuery detached = pipeline->Detach(counter);
+  api::QueryHandle back = pipeline->AddQuery(std::move(detached.query), {},
+                                             std::move(detached.reference));
+  // Replay the same packets one bin later: same work, so the charge must be
+  // within the oracle's +/-1% pseudo-noise of the first bin — not doubled by
+  // the instance's pre-detach history.
+  for (const net::PacketRecord& packet : SharedTrace().packets) {
+    if (packet.ts_us >= 100'000) {
+      break;
+    }
+    net::PacketRecord shifted = packet;
+    shifted.ts_us += 100'000;
+    pipeline->Push(shifted);
+  }
+  pipeline->AdvanceTime(200'000);
+  pipeline->Finish();
+  const double second_charge = pipeline->log()[1].per_query_cycles[back.index()];
+  EXPECT_NEAR(second_charge, first_charge, 0.05 * first_charge);
+}
+
+TEST(PipelineHandles, ReleaseRequiresFinish) {
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  pipeline->AddQuery("counter");
+  EXPECT_THROW(pipeline->ReleaseSystem(), std::logic_error);
+  EXPECT_THROW(pipeline->ReleaseReferences(), std::logic_error);
+  pipeline->Finish();
+  auto references = pipeline->ReleaseReferences();
+  ASSERT_EQ(references.size(), 1u);
+  EXPECT_NE(references[0], nullptr);
+  EXPECT_NE(pipeline->ReleaseSystem(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Observer dispatch: coordinator thread, bin order, at any thread count
+// ---------------------------------------------------------------------------
+
+class RecordingObserver : public api::BinObserver {
+ public:
+  void OnBin(const core::BinLog& log, const api::BinStats& stats) override {
+    bins.push_back(stats.bin_index);
+    start_us.push_back(log.start_us);
+    num_queries.push_back(stats.num_queries);
+    threads.push_back(std::this_thread::get_id());
+    names.emplace_back(stats.query_names.begin(), stats.query_names.end());
+  }
+  void OnRunEnd() override { ++run_ends; }
+
+  std::vector<size_t> bins;
+  std::vector<uint64_t> start_us;
+  std::vector<size_t> num_queries;
+  std::vector<std::thread::id> threads;
+  std::vector<std::vector<std::string>> names;
+  int run_ends = 0;
+};
+
+TEST(PipelineApi, ObserversFireOnCoordinatorThreadInBinOrder) {
+  for (const size_t threads : {size_t{0}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    auto pipeline = api::PipelineBuilder().Threads(threads).BuildUnique();
+    pipeline->AddQuery("counter");
+    pipeline->AddQuery("flows");
+    RecordingObserver recorder;
+    pipeline->AddObserver(&recorder);
+    pipeline->Push(SharedTrace());
+    pipeline->Finish();
+
+    ASSERT_EQ(recorder.bins.size(), pipeline->bins_processed());
+    for (size_t b = 0; b < recorder.bins.size(); ++b) {
+      EXPECT_EQ(recorder.bins[b], b);
+      EXPECT_EQ(recorder.start_us[b], b * pipeline->time_bin_us());
+      EXPECT_EQ(recorder.threads[b], std::this_thread::get_id());
+    }
+    EXPECT_EQ(recorder.run_ends, 1);
+  }
+}
+
+TEST(PipelineApi, ObserverSeesArrivalsAndRemovalsInStats) {
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  api::QueryHandle counter = pipeline->AddQuery("counter");
+  RecordingObserver recorder;
+  pipeline->AddObserver(&recorder);
+
+  pipeline->AdvanceTime(2 * 100'000);  // bins 0-1: one query
+  pipeline->AddQuery("flows");
+  pipeline->AdvanceTime(4 * 100'000);  // bins 2-3: two queries
+  pipeline->Remove(counter);
+  pipeline->AdvanceTime(5 * 100'000);  // bin 4: flows only
+  pipeline->Finish();
+
+  ASSERT_EQ(recorder.num_queries.size(), 5u);
+  EXPECT_EQ(recorder.num_queries, (std::vector<size_t>{1, 1, 2, 2, 1}));
+  EXPECT_EQ(recorder.names[0], (std::vector<std::string>{"counter"}));
+  EXPECT_EQ(recorder.names[2], (std::vector<std::string>{"counter", "flows"}));
+  EXPECT_EQ(recorder.names[4], (std::vector<std::string>{"flows"}));
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+size_t CountLines(const std::string& text) {
+  size_t lines = 0;
+  for (const char c : text) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  return lines;
+}
+
+TEST(PipelineSinks, CsvSinkWritesHeaderAndOneRowPerBin) {
+  std::ostringstream out;
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  pipeline->AddQuery("counter");
+  pipeline->AddObserver(std::make_unique<api::CsvBinSink>(out));
+  pipeline->AdvanceTime(3 * 100'000);
+  pipeline->Finish();
+
+  const std::string text = out.str();
+  EXPECT_EQ(CountLines(text), 4u);  // header + 3 bins
+  EXPECT_EQ(text.rfind("bin,start_us,num_queries", 0), 0u);
+}
+
+TEST(PipelineSinks, JsonlSinkWritesOneObjectPerBinWithPerQueryArrays) {
+  std::ostringstream out;
+  auto pipeline = api::PipelineBuilder().BuildUnique();
+  pipeline->AddQuery("counter");
+  pipeline->AddQuery("flows");
+  pipeline->AddObserver(std::make_unique<api::JsonlBinSink>(out));
+  for (const net::PacketRecord& packet : SharedTrace().packets) {
+    if (packet.ts_us >= 2 * 100'000) {
+      break;
+    }
+    pipeline->Push(packet);
+  }
+  pipeline->AdvanceTime(2 * 100'000);
+  pipeline->Finish();
+
+  const std::string text = out.str();
+  EXPECT_EQ(CountLines(text), 2u);
+  EXPECT_NE(text.find("\"bin\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"queries\":[\"counter\",\"flows\"]"), std::string::npos);
+  EXPECT_NE(text.find("\"rate\":["), std::string::npos);
+  EXPECT_EQ(text.find('\t'), std::string::npos);
+}
+
+TEST(PipelineSinks, FileSinkThrowsOnUnwritablePath) {
+  EXPECT_THROW(api::CsvBinSink("/nonexistent-dir/x.csv"), std::runtime_error);
+  EXPECT_THROW(api::JsonlBinSink("/nonexistent-dir/x.jsonl"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// api::RunPipelineGrid
+// ---------------------------------------------------------------------------
+
+TEST(PipelineApi, RunPipelineGridMatchesSerialCells) {
+  const std::vector<std::string> names = {"counter", "flows"};
+  const double demand =
+      core::MeasureMeanDemand(names, SharedTrace(), core::OracleKind::kModel);
+  const auto make_spec = [&](size_t cell) {
+    core::RunSpec spec;
+    spec.system.cycles_per_bin = (0.3 + 0.2 * static_cast<double>(cell)) * demand;
+    spec.query_names = names;
+    return spec;
+  };
+  const auto serial = api::RunPipelineGrid(3, make_spec, SharedTrace(), nullptr);
+  exec::ThreadPool pool(3);
+  const auto parallel = api::RunPipelineGrid(3, make_spec, SharedTrace(), &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    ExpectBinLogsIdentical(serial[i]->log(), parallel[i]->log());
+    EXPECT_EQ(serial[i]->AverageAccuracy(), parallel[i]->AverageAccuracy());
+  }
+}
+
+}  // namespace
+}  // namespace shedmon

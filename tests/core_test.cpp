@@ -74,6 +74,40 @@ TEST(ModelOracle, DeterministicAcrossInstances) {
   EXPECT_DOUBLE_EQ(ca, cb);
 }
 
+TEST(ModelOracle, LifecycleHooksBaselineAndForgetPerQueryWork) {
+  // OnQueryAdded must baseline the charge counter to the query's *current*
+  // lifetime work (so an instance with history — or an address reused by a
+  // new instance — is charged only for work done after registration), and
+  // OnQueryRemoved must drop the entry entirely.
+  const auto t = trace::TraceGenerator(TestSpec()).Generate();
+  trace::Batcher batcher(t, 100'000);
+  trace::Batch batch;
+  ASSERT_TRUE(batcher.Next(batch));
+  query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
+
+  ModelCostOracle oracle;
+  auto q = query::MakeQuery("counter");
+  // Build up lifetime work the oracle has never seen (as after an address
+  // reuse, or a query that ran in another system).
+  q->ProcessBatch(in);
+  q->ProcessBatch(in);
+  ASSERT_GT(q->work_units(), 0.0);
+
+  // Registered now: the next charge covers only post-registration work.
+  oracle.OnQueryAdded(q.get());
+  WorkHint hint{q.get(), &batch.packets, 0.0};
+  const double charged = oracle.Run(WorkKind::kQuery, hint, [&] { q->ProcessBatch(in); });
+  const double one_batch_work = q->work_units() / 3.0;
+  EXPECT_NEAR(charged, one_batch_work, one_batch_work * 0.02);  // +/-1% noise
+
+  // Removed: the baseline is gone, so this address reads as brand new — the
+  // next charge is the counter-from-zero delta a fresh instance reusing the
+  // address would get, not the stale (here: zero) delta of the old entry.
+  oracle.OnQueryRemoved(q.get());
+  const double after_removal = oracle.Run(WorkKind::kQuery, hint, [] {});
+  EXPECT_NEAR(after_removal, q->work_units(), q->work_units() * 0.02);
+}
+
 TEST(ModelOracle, StaleWorkEntryFallsBackToSaneCost) {
   // Regression test: when a query object address is reused across runs, the
   // oracle's per-query work baseline is stale and the charge falls back to

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "src/api/pipeline.h"
+#include "src/api/sinks.h"
 #include "src/core/runner.h"
 #include "src/query/queries.h"
 #include "src/trace/anomaly.h"
@@ -124,7 +126,8 @@ int Usage() {
       "              [--on-off S] [--target-ip HEX]\n"
       "  run         FILE --queries a,b,c [--k 0.5] [--strategy eq|cpu|pkt]\n"
       "              [--shedder predictive|reactive|none] [--custom]\n"
-      "              [--oracle model|measured] [--bin-us N]\n"
+      "              [--oracle model|measured] [--bin-us N] [--threads N]\n"
+      "              [--csv FILE] [--jsonl FILE]\n"
       "  queries     (list available queries and their default min rates)\n");
   return 2;
 }
@@ -234,52 +237,74 @@ int CmdRun(const Flags& flags) {
   const std::vector<std::string> queries =
       SplitCsv(flags.Get("queries", "counter,flows,application"));
 
-  core::RunSpec spec;
-  spec.system.time_bin_us = flags.GetU64("bin-us", 100'000);
+  const uint64_t bin_us = flags.GetU64("bin-us", 100'000);
   const std::string shedder = flags.Get("shedder", "predictive");
-  spec.system.shedder = shedder == "reactive" ? core::ShedderKind::kReactive
-                        : shedder == "none"   ? core::ShedderKind::kNoShed
-                                              : core::ShedderKind::kPredictive;
   const std::string strategy = flags.Get("strategy", "pkt");
-  spec.system.strategy = strategy == "eq"    ? shed::StrategyKind::kEqSrates
-                         : strategy == "cpu" ? shed::StrategyKind::kMmfsCpu
-                                             : shed::StrategyKind::kMmfsPkt;
-  spec.system.enable_custom_shedding = flags.Has("custom");
-  spec.oracle = flags.Get("oracle", "model") == "measured" ? core::OracleKind::kMeasured
-                                                           : core::OracleKind::kModel;
-  spec.query_names = queries;
+  const core::OracleKind oracle = flags.Get("oracle", "model") == "measured"
+                                      ? core::OracleKind::kMeasured
+                                      : core::OracleKind::kModel;
 
   const double k = flags.GetDouble("k", 0.5);
-  const double demand =
-      core::MeasureMeanDemand(queries, t, spec.oracle, spec.system.time_bin_us);
-  spec.system.cycles_per_bin = std::max(1.0, demand * (1.0 - k));
+  const double demand = core::MeasureMeanDemand(queries, t, oracle, bin_us);
+  const double capacity = std::max(1.0, demand * (1.0 - k));
+
+  auto pipeline =
+      PipelineBuilder()
+          .TimeBin(bin_us)
+          .Shedder(shedder == "reactive" ? core::ShedderKind::kReactive
+                   : shedder == "none"   ? core::ShedderKind::kNoShed
+                                         : core::ShedderKind::kPredictive)
+          .Strategy(strategy == "eq"    ? shed::StrategyKind::kEqSrates
+                    : strategy == "cpu" ? shed::StrategyKind::kMmfsCpu
+                                        : shed::StrategyKind::kMmfsPkt)
+          .CustomShedding(flags.Has("custom"))
+          .Oracle(oracle)
+          .CyclesPerBin(capacity)
+          .Threads(flags.GetU64("threads", 0))
+          .Build();
+  std::vector<QueryHandle> handles;
+  for (const auto& name : queries) {
+    handles.push_back(pipeline.AddQuery(name));
+  }
+  if (flags.Has("csv")) {
+    pipeline.AddObserver(std::make_unique<CsvBinSink>(flags.Get("csv")));
+  }
+  if (flags.Has("jsonl")) {
+    pipeline.AddObserver(std::make_unique<JsonlBinSink>(flags.Get("jsonl")));
+  }
 
   std::printf("running %zu queries at overload K=%.2f (capacity %.3g cycles/bin, %s)\n\n",
-              queries.size(), k, spec.system.cycles_per_bin,
-              spec.oracle == core::OracleKind::kMeasured ? "measured cycles"
-                                                         : "model cycles");
-  core::RunResult result = RunSystemOnTrace(spec, t);
+              queries.size(), k, capacity,
+              oracle == core::OracleKind::kMeasured ? "measured cycles" : "model cycles");
+  pipeline.Push(t);
+  pipeline.Finish();
 
   util::Table table({"query", "min rate", "mean srate", "accuracy error"});
-  for (size_t q = 0; q < queries.size(); ++q) {
+  for (const QueryHandle& handle : handles) {
     util::RunningStats rate;
-    for (const auto& bin : result.system->log()) {
-      if (q < bin.rate.size()) {
-        rate.Add(bin.rate[q]);
+    for (const auto& bin : pipeline.log()) {
+      if (handle.index() < bin.rate.size()) {
+        rate.Add(bin.rate[handle.index()]);
       }
     }
-    const auto acc = result.Accuracy(q);
-    table.AddRow({queries[q], util::Fmt(core::DefaultMinRate(queries[q]), 2),
+    const auto acc = handle.Accuracy();
+    table.AddRow({handle.name(), util::Fmt(core::DefaultMinRate(handle.name()), 2),
                   util::Fmt(rate.mean(), 2),
                   util::FmtPercent(acc.mean_error, 2) + " ±" +
                       util::Fmt(acc.stdev_error * 100.0, 2)});
   }
   table.Print(std::cout);
   std::printf("\npackets: %llu in, %llu uncontrolled drops (%.2f%%)\n",
-              static_cast<unsigned long long>(result.system->total_packets()),
-              static_cast<unsigned long long>(result.system->total_dropped()),
-              100.0 * static_cast<double>(result.system->total_dropped()) /
-                  std::max<double>(1.0, static_cast<double>(result.system->total_packets())));
+              static_cast<unsigned long long>(pipeline.total_packets()),
+              static_cast<unsigned long long>(pipeline.total_dropped()),
+              100.0 * static_cast<double>(pipeline.total_dropped()) /
+                  std::max<double>(1.0, static_cast<double>(pipeline.total_packets())));
+  if (flags.Has("csv")) {
+    std::printf("per-bin log written to %s\n", flags.Get("csv").c_str());
+  }
+  if (flags.Has("jsonl")) {
+    std::printf("per-bin log written to %s\n", flags.Get("jsonl").c_str());
+  }
   return 0;
 }
 
