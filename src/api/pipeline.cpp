@@ -93,6 +93,11 @@ PipelineBuilder& PipelineBuilder::Threads(size_t num_threads) {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::MaxShardsPerQuery(size_t n) {
+  config_.max_shards_per_query = n;
+  return *this;
+}
+
 PipelineBuilder& PipelineBuilder::Seed(uint64_t seed) {
   config_.seed = seed;
   return *this;

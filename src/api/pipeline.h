@@ -103,6 +103,10 @@ class PipelineBuilder {
   PipelineBuilder& BufferBins(double bins);
   PipelineBuilder& CustomShedding(bool enable = true);
   PipelineBuilder& Threads(size_t num_threads);
+  // Upper bound on intra-query data parallelism: split one query's bin batch
+  // into up to `n` shards across the worker pool (no-op without Threads).
+  // Results stay bit-identical at any value; see SystemConfig.
+  PipelineBuilder& MaxShardsPerQuery(size_t n);
   PipelineBuilder& Seed(uint64_t seed);
   PipelineBuilder& Oracle(core::OracleKind kind);
   // Run pipeline-managed reference instances over the unsampled stream so

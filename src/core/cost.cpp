@@ -7,11 +7,13 @@
 
 namespace shedmon::core {
 
-double MeasuredCostOracle::Run(WorkKind /*kind*/, const WorkHint& /*hint*/,
+double MeasuredCostOracle::Run(WorkKind /*kind*/, const WorkHint& hint,
                                const std::function<void()>& fn) {
   const util::CycleTimer timer;
   fn();
-  return static_cast<double>(timer.Elapsed());
+  // shard_cycles carries the worker-timed cost of shard tasks that already
+  // ran for this unit of work (see WorkHint); fn here is only the merge.
+  return static_cast<double>(timer.Elapsed()) + hint.shard_cycles;
 }
 
 double MeasuredCostOracle::DefaultBinBudget(uint64_t bin_us) const {

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "src/util/cycle_clock.h"
+
 namespace shedmon::core {
 
 namespace {
@@ -131,12 +133,15 @@ uint64_t MonitoringSystem::PlanCustomOracleCalls(double rate) {
   return std::clamp(rate, 0.0, 1.0) >= kNearFullRate ? 3 : 1;
 }
 
-MonitoringSystem::QueryTaskResult MonitoringSystem::ExecuteQuery(
-    QueryRuntime& qr, const trace::Batch& batch, double rate, bool update_history,
-    const features::FeatureVector* shared_features, uint64_t base_seq) {
-  QueryTaskResult result;
+void MonitoringSystem::ExecuteQueryPre(QueryRuntime& qr, const trace::Batch& batch, double rate,
+                                       bool update_history,
+                                       const features::FeatureVector* shared_features,
+                                       uint64_t base_seq, QueryExec& ex,
+                                       QueryTaskResult& result) {
   rate = std::clamp(rate, 0.0, 1.0);
-  const trace::PacketVec* packets = &batch.packets;
+  ex.rate = rate;
+  ex.update_history = update_history;
+  ex.packets = &batch.packets;
   if (rate < 1.0 - kEps) {
     WorkHint sample_hint{qr.query.get(), &batch.packets, 0.0};
     result.AddCharge(/*ls=*/true,
@@ -147,7 +152,7 @@ MonitoringSystem::QueryTaskResult MonitoringSystem::ExecuteQuery(
                          qr.pkt_sampler.SampleInto(batch.packets, rate, qr.sample_buf);
                        }
                      }));
-    packets = &qr.sample_buf;
+    ex.packets = &qr.sample_buf;
   }
 
   // Re-extract features on the batch the query actually processes so the
@@ -155,43 +160,130 @@ MonitoringSystem::QueryTaskResult MonitoringSystem::ExecuteQuery(
   // load shedding subsystem when sampling was applied. At full rate the
   // prediction-stage extraction is reused when available (§3.4.4 sharing).
   // Reactive mode keeps no history and skips this entirely.
-  features::FeatureVector processed_features{};
   if (update_history) {
     if (rate >= 1.0 - kEps && shared_features != nullptr) {
-      processed_features = *shared_features;
+      ex.features = *shared_features;
     } else {
-      WorkHint extract_hint{qr.query.get(), packets, 0.0};
+      WorkHint extract_hint{qr.query.get(), ex.packets, 0.0};
       const double extract_cycles =
           oracle_->RunAt(base_seq++, WorkKind::kFeatureExtraction, extract_hint, [&] {
-            processed_features = qr.engine.extractor().Extract(*packets);
+            ex.features = qr.engine.extractor().Extract(*ex.packets);
           });
       result.AddCharge(/*ls=*/rate < 1.0 - kEps, extract_cycles);
     }
   }
+  ex.next_seq = base_seq;
 
-  query::BatchInput in{*packets, batch.start_us, batch.duration_us, rate};
-  WorkHint query_hint{qr.query.get(), packets, 0.0};
-  const double used = oracle_->RunAt(base_seq++, WorkKind::kQuery, query_hint,
-                                     [&] { qr.query->ProcessBatch(in); });
+  // Intra-query shard plan over the sampled view. The plan only shapes the
+  // fan-out: any shard count (including 1) produces bit-identical results
+  // and charges, so the decision is free to depend on the pool width.
+  ex.ranges.clear();
+  ex.states.clear();
+  ex.shard_cycles.clear();
+  query::ShardableQuery* shardable = qr.query->shardable();
+  if (shardable != nullptr && config_.max_shards_per_query > 1) {
+    query::BatchInput in{*ex.packets, batch.start_us, batch.duration_us, rate};
+    const size_t units = shardable->ShardUnits(in);
+    const size_t shards = executor_.PlanShards(units, config_.max_shards_per_query,
+                                               shardable->MinShardUnits());
+    if (shards > 1) {
+      ex.ranges = exec::QueryExecutor::SplitUnits(units, shards);
+      ex.states.reserve(ex.ranges.size());
+      for (size_t s = 0; s < ex.ranges.size(); ++s) {
+        ex.states.push_back(shardable->ForkShard());
+      }
+      ex.shard_cycles.assign(ex.ranges.size(), 0.0);
+    }
+  }
+}
 
-  if (update_history) {
+void MonitoringSystem::ExecuteQueryPost(QueryRuntime& qr, const trace::Batch& batch,
+                                        QueryExec& ex, QueryTaskResult& result) {
+  query::BatchInput in{*ex.packets, batch.start_us, batch.duration_us, ex.rate};
+  WorkHint query_hint{qr.query.get(), ex.packets, 0.0};
+  double used = 0.0;
+  if (ex.sharded()) {
+    // Ordered shard merge inside the single reserved kQuery slot: the model
+    // charge is the query's work-unit delta, which the mergeable-state
+    // discipline makes equal to the serial delta — same slot, same noise,
+    // same charge. The worker-timed shard cycles travel in the hint so a
+    // wall-measuring oracle charges the scans too, not just this merge.
+    for (const double cycles : ex.shard_cycles) {
+      query_hint.shard_cycles += cycles;
+    }
+    used = oracle_->RunAt(ex.next_seq++, WorkKind::kQuery, query_hint,
+                          [&] { qr.query->ProcessShards(in, std::move(ex.states)); });
+  } else {
+    used = oracle_->RunAt(ex.next_seq++, WorkKind::kQuery, query_hint,
+                          [&] { qr.query->ProcessBatch(in); });
+  }
+
+  if (ex.update_history) {
     WorkHint fit_hint{qr.query.get(), nullptr,
                       static_cast<double>(config_.predictor.history)};
     result.AddCharge(/*ls=*/false,
-                     oracle_->RunAt(base_seq++, WorkKind::kFcbfMlr, fit_hint, [&] {
-                       qr.engine.ObserveActual(processed_features, used);
+                     oracle_->RunAt(ex.next_seq++, WorkKind::kFcbfMlr, fit_hint, [&] {
+                       qr.engine.ObserveActual(ex.features, used);
                      }));
   }
 
   result.unsampled =
-      (static_cast<double>(batch.size()) - static_cast<double>(packets->size())) /
+      (static_cast<double>(batch.size()) - static_cast<double>(ex.packets->size())) /
       std::max<double>(1.0, static_cast<double>(queries_.size()));
   // Drop the sampled view before the batch (and its payload arena) can be
   // recycled; the buffer keeps its capacity for the next bin.
   qr.sample_buf.clear();
   qr.last_cycles = used;
   result.used = used;
-  return result;
+}
+
+void MonitoringSystem::RunShardWaves(const trace::Batch& batch, std::vector<QueryExec>& ex,
+                                     std::vector<QueryTaskResult>& results) {
+  struct ShardTask {
+    size_t query;
+    size_t shard;
+  };
+  std::vector<ShardTask> tasks;
+  std::vector<size_t> sharded;  // queries with a pending post phase
+  for (size_t q = 0; q < ex.size(); ++q) {
+    if (!ex[q].sharded()) {
+      continue;
+    }
+    sharded.push_back(q);
+    for (size_t s = 0; s < ex[q].states.size(); ++s) {
+      tasks.push_back({q, s});
+    }
+  }
+  if (tasks.empty()) {
+    return;
+  }
+  // Wave 2: every (query, shard) range on any worker in any order — shards
+  // only touch their own partial plus the query's stable pre-batch state.
+  // Each task is TSC-timed so wall-measuring oracles can charge this work
+  // at the query's merge (the model oracle ignores the timings).
+  executor_.Run(
+      tasks.size(),
+      [&](size_t t) {
+        const ShardTask& task = tasks[t];
+        QueryRuntime& qr = *queries_[task.query];
+        QueryExec& e = ex[task.query];
+        query::BatchInput in{*e.packets, batch.start_us, batch.duration_us, e.rate};
+        const util::CycleTimer timer;
+        qr.query->shardable()->OnShardBatch(*e.states[task.shard], in,
+                                            e.ranges[task.shard].begin,
+                                            e.ranges[task.shard].end);
+        e.shard_cycles[task.shard] = static_cast<double>(timer.Elapsed());
+      },
+      nullptr);
+  // Wave 3: fold the partials (per query, in shard-index order) and finish
+  // the per-query pipeline; only the sharded queries have work left.
+  executor_.Run(
+      sharded.size(),
+      [&](size_t i) {
+        const size_t q = sharded[i];
+        ExecuteQueryPost(*queries_[q], batch, ex[q], results[q]);
+      },
+      nullptr);
 }
 
 MonitoringSystem::QueryTaskResult MonitoringSystem::ExecuteCustom(QueryRuntime& qr,
@@ -340,6 +432,12 @@ void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
                                          /*has_shared_features=*/true));
   }
 
+  // Wave 1: the whole per-query pipeline for unsharded queries, and the
+  // sampling/extraction pre-phase (plus the shard plan) for queries whose
+  // batch splits further. Waves 2/3 (RunShardWaves) then run the (query,
+  // shard) ranges and the ordered per-query merges; the BinLog fold below
+  // replays registration order on the coordinator exactly as before.
+  std::vector<QueryExec> ex(n);
   double used_total = 0.0;
   double expected_total = 0.0;
   double measured_ls = 0.0;
@@ -353,29 +451,34 @@ void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
         if (plan[q].custom) {
           results[q] = ExecuteCustom(qr, batch, alloc.rate[q], alloc.rate[q] * pred[q],
                                      plan[q].base_seq);
-        } else {
-          results[q] = ExecuteQuery(qr, batch, alloc.rate[q], /*update_history=*/true, &f_full,
-                                    plan[q].base_seq);
-        }
-      },
-      [&](size_t q) {
-        if (!plan[q].execute) {
-          log.packets_unsampled += static_cast<double>(batch.size()) /
-                                   std::max<double>(1.0, static_cast<double>(n));
-          queries_[q]->last_cycles = 0.0;
           return;
         }
-        const QueryTaskResult& r = results[q];
-        const double ls_before = log.ls_cycles;
-        for (size_t c = 0; c < r.num_charges; ++c) {
-          (r.charges[c].ls ? log.ls_cycles : log.ps_cycles) += r.charges[c].cycles;
+        ExecuteQueryPre(qr, batch, alloc.rate[q], /*update_history=*/true, &f_full,
+                        plan[q].base_seq, ex[q], results[q]);
+        if (!ex[q].sharded()) {
+          ExecuteQueryPost(qr, batch, ex[q], results[q]);
         }
-        measured_ls += log.ls_cycles - ls_before;
-        log.packets_unsampled += r.unsampled;
-        log.per_query_cycles[q] = r.used;
-        used_total += r.used;
-        expected_total += alloc.rate[q] * pred[q];
-      });
+      },
+      nullptr);
+  RunShardWaves(batch, ex, results);
+  for (size_t q = 0; q < n; ++q) {
+    if (!plan[q].execute) {
+      log.packets_unsampled += static_cast<double>(batch.size()) /
+                               std::max<double>(1.0, static_cast<double>(n));
+      queries_[q]->last_cycles = 0.0;
+      continue;
+    }
+    const QueryTaskResult& r = results[q];
+    const double ls_before = log.ls_cycles;
+    for (size_t c = 0; c < r.num_charges; ++c) {
+      (r.charges[c].ls ? log.ls_cycles : log.ps_cycles) += r.charges[c].cycles;
+    }
+    measured_ls += log.ls_cycles - ls_before;
+    log.packets_unsampled += r.unsampled;
+    log.per_query_cycles[q] = r.used;
+    used_total += r.used;
+    expected_total += alloc.rate[q] * pred[q];
+  }
   log.query_cycles = used_total;
 
   // Phase 5 (line 17 + §4.3): smoothers for the next bin.
@@ -407,22 +510,28 @@ void MonitoringSystem::RunReactive(const trace::Batch& batch, BinLog& log) {
         reactive_rate_, /*update_history=*/false, /*has_shared_features=*/false));
   }
   std::vector<QueryTaskResult> results(n);
+  std::vector<QueryExec> ex(n);
   double used_total = 0.0;
   executor_.Run(
       n,
       [&](size_t q) {
-        results[q] = ExecuteQuery(*queries_[q], batch, reactive_rate_,
-                                  /*update_history=*/false, nullptr, base_seq[q]);
-      },
-      [&](size_t q) {
-        const QueryTaskResult& r = results[q];
-        for (size_t c = 0; c < r.num_charges; ++c) {
-          (r.charges[c].ls ? log.ls_cycles : log.ps_cycles) += r.charges[c].cycles;
+        ExecuteQueryPre(*queries_[q], batch, reactive_rate_,
+                        /*update_history=*/false, nullptr, base_seq[q], ex[q], results[q]);
+        if (!ex[q].sharded()) {
+          ExecuteQueryPost(*queries_[q], batch, ex[q], results[q]);
         }
-        log.packets_unsampled += r.unsampled;
-        log.per_query_cycles[q] = r.used;
-        used_total += r.used;
-      });
+      },
+      nullptr);
+  RunShardWaves(batch, ex, results);
+  for (size_t q = 0; q < n; ++q) {
+    const QueryTaskResult& r = results[q];
+    for (size_t c = 0; c < r.num_charges; ++c) {
+      (r.charges[c].ls ? log.ls_cycles : log.ps_cycles) += r.charges[c].cycles;
+    }
+    log.packets_unsampled += r.unsampled;
+    log.per_query_cycles[q] = r.used;
+    used_total += r.used;
+  }
   // Reactive systems skip the prediction subsystem: no history upkeep.
   log.ps_cycles = 0.0;
   log.query_cycles = used_total;
@@ -437,22 +546,24 @@ void MonitoringSystem::RunNoShed(const trace::Batch& batch, BinLog& log) {
     log.rate[q] = 1.0;
     base_seq[q] = oracle_->ReserveSequence(1);
   }
-  std::vector<double> used(n, 0.0);
+  std::vector<QueryTaskResult> results(n);
+  std::vector<QueryExec> ex(n);
   double used_total = 0.0;
   executor_.Run(
       n,
       [&](size_t q) {
-        QueryRuntime& qr = *queries_[q];
-        query::BatchInput in{batch.packets, batch.start_us, batch.duration_us, 1.0};
-        WorkHint hint{qr.query.get(), &batch.packets, 0.0};
-        used[q] = oracle_->RunAt(base_seq[q], WorkKind::kQuery, hint,
-                                 [&] { qr.query->ProcessBatch(in); });
-        qr.last_cycles = used[q];
+        ExecuteQueryPre(*queries_[q], batch, /*rate=*/1.0,
+                        /*update_history=*/false, nullptr, base_seq[q], ex[q], results[q]);
+        if (!ex[q].sharded()) {
+          ExecuteQueryPost(*queries_[q], batch, ex[q], results[q]);
+        }
       },
-      [&](size_t q) {
-        log.per_query_cycles[q] = used[q];
-        used_total += used[q];
-      });
+      nullptr);
+  RunShardWaves(batch, ex, results);
+  for (size_t q = 0; q < n; ++q) {
+    log.per_query_cycles[q] = results[q].used;
+    used_total += results[q].used;
+  }
   log.query_cycles = used_total;
   log.overload = used_total > log.avail_cycles;
 }

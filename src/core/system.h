@@ -85,6 +85,16 @@ struct SystemConfig {
   // over an exec::ThreadPool while cost charges are sequenced and BinLog
   // merges replayed in registration order (see exec::QueryExecutor).
   size_t num_threads = 0;
+  // Upper bound on intra-query data parallelism: how many shards one query's
+  // bin batch may be split into when the query implements
+  // query::ShardableQuery and a pool is available (num_threads > 0). 1, the
+  // default, keeps batches whole. Any value yields BinLogs, query results and
+  // accuracies bit-identical to the serial path: shard partials are exact and
+  // folded in shard-index order, and sharding consumes no extra cost-oracle
+  // slots — the per-query kQuery charge is applied once, at the merge, from
+  // the same reserved sequence slot as the unsharded path, so shedding
+  // decisions cannot depend on the shard count.
+  size_t max_shards_per_query = 1;
 };
 
 // Everything the system recorded about one time bin, the raw material for
@@ -163,9 +173,9 @@ class MonitoringSystem {
     double last_cycles = 0.0;  // previous bin's consumption (reactive)
     // Reusable buffer the samplers write into: sampling a batch stops
     // allocating once the buffer has grown to the query's working set.
-    // Valid only within ExecuteQuery's bin — its Packets point into the
-    // current Batch's arena — so it is cleared (capacity kept) before
-    // ExecuteQuery returns and must never be read between bins.
+    // Valid only within the bin's execute waves — its Packets point into
+    // the current Batch's arena — so ExecuteQueryPost clears it (capacity
+    // kept) and it must never be read between bins.
     trace::PacketVec sample_buf;
   };
 
@@ -197,25 +207,54 @@ class MonitoringSystem {
     }
   };
 
-  // Number of oracle calls ExecuteQuery will make for the given parameters;
-  // the coordinator reserves exactly this many charge slots per query (in
-  // registration order) before fanning tasks out, so sequenced charges match
-  // the serial call schedule no matter which worker runs when.
+  // Number of oracle calls the pre+post execution of one query will make for
+  // the given parameters; the coordinator reserves exactly this many charge
+  // slots per query (in registration order) before fanning tasks out, so
+  // sequenced charges match the serial call schedule no matter which worker
+  // runs when. Intra-query sharding never changes this count: a sharded
+  // batch is still charged through the single reserved kQuery slot.
   static uint64_t PlanOracleCalls(double rate, bool update_history, bool has_shared_features);
   static uint64_t PlanCustomOracleCalls(double rate);
 
-  // Samples, runs and accounts one query at the given rate; updates the
-  // prediction history when `update_history` is set. When no sampling is
-  // applied and `shared_features` is given, the prediction-stage extraction
-  // is reused instead of re-extracting (the computation-sharing optimization
-  // the thesis proposes in §3.4.4). `base_seq` is the first of the charge
-  // slots reserved for this query's oracle calls. Safe to call concurrently
-  // for distinct queries.
-  QueryTaskResult ExecuteQuery(QueryRuntime& qr, const trace::Batch& batch, double rate,
-                               bool update_history,
-                               const features::FeatureVector* shared_features,
-                               uint64_t base_seq);
-  // Custom-shedding execution path (Ch. 6).
+  // Per-query execution context threaded through the fan-out waves of one
+  // bin: the packet view after sampling, the re-extracted features, the next
+  // reserved charge slot, and the intra-query shard plan (partials forked in
+  // the pre phase, filled by (query, shard) tasks, folded by the post phase
+  // in shard-index order).
+  struct QueryExec {
+    double rate = 1.0;
+    bool update_history = false;
+    const trace::PacketVec* packets = nullptr;
+    features::FeatureVector features{};
+    uint64_t next_seq = 0;
+    std::vector<exec::ShardRange> ranges;
+    std::vector<std::unique_ptr<query::ShardState>> states;
+    // TSC cycles each shard task spent in OnShardBatch, summed into the
+    // kQuery WorkHint so wall-measuring oracles charge the scans that ran
+    // on workers, not just the merge (the model oracle ignores it).
+    std::vector<double> shard_cycles;
+    bool sharded() const { return states.size() > 1; }
+  };
+
+  // First half of the per-query pipeline: samples the batch and re-extracts
+  // features for the history update (reusing `shared_features` at full rate —
+  // the §3.4.4 computation sharing), consuming reserved slots from
+  // `base_seq`; then plans the intra-query shard fan-out over the sampled
+  // view. Safe to call concurrently for distinct queries.
+  void ExecuteQueryPre(QueryRuntime& qr, const trace::Batch& batch, double rate,
+                       bool update_history, const features::FeatureVector* shared_features,
+                       uint64_t base_seq, QueryExec& ex, QueryTaskResult& result);
+  // Second half: the query charge itself — ProcessBatch, or the ordered
+  // shard merge when the pre phase split the batch — then the model fit
+  // (Alg. 1 line 12). Must run after every shard task of this query.
+  void ExecuteQueryPost(QueryRuntime& qr, const trace::Batch& batch, QueryExec& ex,
+                        QueryTaskResult& result);
+  // Runs the (query, shard) tasks of every sharded entry in `ex` over the
+  // pool, then the post phase of those queries; no-op when nothing sharded.
+  void RunShardWaves(const trace::Batch& batch, std::vector<QueryExec>& ex,
+                     std::vector<QueryTaskResult>& results);
+  // Custom-shedding execution path (Ch. 6); custom batches are never sharded
+  // (the method owns its own traversal order).
   QueryTaskResult ExecuteCustom(QueryRuntime& qr, const trace::Batch& batch, double rate,
                                 double granted, uint64_t base_seq);
 

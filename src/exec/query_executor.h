@@ -2,10 +2,18 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 namespace shedmon::exec {
 
 class ThreadPool;
+
+// One contiguous shard of a query's batch, in the query's own shard units
+// (packets for most queries, scanned bytes for pattern-search).
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
 
 // Shards index-addressed units of work (one per registered query, in
 // shedmon's main use) across a ThreadPool, then replays a merge step for
@@ -36,6 +44,24 @@ class QueryExecutor {
 
   bool parallel() const { return pool_ != nullptr; }
   ThreadPool* pool() const { return pool_; }
+
+  // ---- Intra-query shard planning ----------------------------------------
+  // How many shards to split one query's `units` of batch work into: capped
+  // by the caller's `max_shards` budget, by the pool's execution contexts
+  // (workers + the participating caller — extra shards beyond that only add
+  // dispatch overhead), and by a minimum grain of `min_units` per shard so
+  // tiny batches stay whole. Inline executors (null pool) never shard.
+  // Deterministic for a given (pool, config, batch): the decision feeds the
+  // shard *fan-out*, never the results — the mergeable-state discipline makes
+  // every shard count produce bit-identical output.
+  size_t PlanShards(size_t units, size_t max_shards, size_t min_units) const;
+
+  // Splits [0, units) into exactly min(shards, max(units, 1)) contiguous
+  // near-equal ranges (remainder spread over the leading ranges). Never
+  // returns an empty range: requesting more shards than units clamps to one
+  // unit per shard, and units == 0 degrades to a single empty-span range so
+  // a 1-packet (or empty) batch can never produce zero-width shard work.
+  static std::vector<ShardRange> SplitUnits(size_t units, size_t shards);
 
  private:
   ThreadPool* pool_;

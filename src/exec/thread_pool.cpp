@@ -56,7 +56,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (grain == 0) {
     grain = (n + num_threads() - 1) / num_threads();
   }
-  grain = std::max<size_t>(1, grain);
+  // Re-check the grain against the range: it must be at least 1 (a zero
+  // grain after shard splitting would loop forever) and at most n (a grain
+  // beyond the range collapses to one caller-run chunk, never an empty one).
+  grain = std::max<size_t>(1, std::min(grain, n));
 
   // Chunk [c*grain, min(end, (c+1)*grain)); chunk 0 runs on the caller.
   struct Chunk {

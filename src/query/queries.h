@@ -24,7 +24,7 @@ namespace shedmon::query {
 // ---------------------------------------------------------------------------
 // counter — traffic load in packets and bytes (Table 2.2). Cost ~ packets.
 // ---------------------------------------------------------------------------
-class CounterQuery : public Query {
+class CounterQuery : public Query, public ShardableQuery {
  public:
   explicit CounterQuery(size_t interval_bins = 10);
 
@@ -39,6 +39,14 @@ class CounterQuery : public Query {
   double IntervalErrorPackets(const Query& reference, size_t interval) const;
   double IntervalErrorBytes(const Query& reference, size_t interval) const;
 
+  // Intra-query sharding (mergeable state; see query::ShardableQuery).
+  ShardableQuery* shardable() override { return this; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
+
  protected:
   void OnBatch(const BatchInput& in) override;
   void OnEndInterval(size_t interval_index) override;
@@ -51,7 +59,7 @@ class CounterQuery : public Query {
 // ---------------------------------------------------------------------------
 // application — port-based application classification. Cost ~ packets.
 // ---------------------------------------------------------------------------
-class ApplicationQuery : public Query {
+class ApplicationQuery : public Query, public ShardableQuery {
  public:
   explicit ApplicationQuery(size_t interval_bins = 10);
 
@@ -68,6 +76,14 @@ class ApplicationQuery : public Query {
   double IntervalErrorPackets(const Query& reference, size_t interval) const;
   double IntervalErrorBytes(const Query& reference, size_t interval) const;
 
+  // Intra-query sharding (mergeable state; see query::ShardableQuery).
+  ShardableQuery* shardable() override { return this; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
+
  protected:
   void OnBatch(const BatchInput& in) override;
   void OnEndInterval(size_t interval_index) override;
@@ -82,7 +98,7 @@ class ApplicationQuery : public Query {
 // Supports a custom shedding method: deterministic 1-in-k stride sampling
 // with rescaling, a low-variance estimator for a max-of-sums statistic.
 // ---------------------------------------------------------------------------
-class HighWatermarkQuery : public Query {
+class HighWatermarkQuery : public Query, public ShardableQuery {
  public:
   explicit HighWatermarkQuery(size_t interval_bins = 10);
 
@@ -91,6 +107,14 @@ class HighWatermarkQuery : public Query {
   double IntervalError(const Query& reference, size_t interval) const override;
 
   bool supports_custom_shedding() const override { return true; }
+
+  // Intra-query sharding (mergeable state; see query::ShardableQuery).
+  ShardableQuery* shardable() override { return this; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
 
  protected:
   void OnBatch(const BatchInput& in) override;
@@ -106,7 +130,7 @@ class HighWatermarkQuery : public Query {
 // flows — per-flow classification; reports the number of active 5-tuple
 // flows per interval. Flow sampling preferred. Cost ~ packets + new flows.
 // ---------------------------------------------------------------------------
-class FlowsQuery : public Query {
+class FlowsQuery : public Query, public ShardableQuery {
  public:
   explicit FlowsQuery(size_t interval_bins = 10);
 
@@ -115,6 +139,14 @@ class FlowsQuery : public Query {
   const std::vector<double>& flow_counts() const { return snaps_; }
 
   double IntervalError(const Query& reference, size_t interval) const override;
+
+  // Intra-query sharding (mergeable state; see query::ShardableQuery).
+  ShardableQuery* shardable() override { return this; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
 
  protected:
   void OnBatch(const BatchInput& in) override;
@@ -130,7 +162,7 @@ class FlowsQuery : public Query {
 // top-k — ranking of the top-k destination IPs by bytes ([12] in the thesis).
 // Error metric: misranked flow pairs. Custom shedding: Sample & Hold.
 // ---------------------------------------------------------------------------
-class TopKQuery : public Query {
+class TopKQuery : public Query, public ShardableQuery {
  public:
   explicit TopKQuery(size_t k = 10, size_t interval_bins = 10);
 
@@ -148,6 +180,14 @@ class TopKQuery : public Query {
 
   bool supports_custom_shedding() const override { return true; }
 
+  // Intra-query sharding (mergeable state; see query::ShardableQuery).
+  ShardableQuery* shardable() override { return this; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
+
  protected:
   void OnBatch(const BatchInput& in) override;
   void OnCustomBatch(const BatchInput& in, double fraction) override;
@@ -158,6 +198,11 @@ class TopKQuery : public Query {
   std::unordered_map<uint32_t, double> bytes_;
   util::Rng admit_rng_;
   std::vector<Snapshot> snaps_;
+  // Reused per-batch scratch for OnBatch's exact-integer accumulation
+  // (cleared each batch, capacity kept so the serial hot path stays
+  // allocation-free after warm-up).
+  std::unordered_map<uint32_t, double> batch_bytes_;
+  std::vector<uint32_t> batch_order_;
 };
 
 // ---------------------------------------------------------------------------
@@ -190,11 +235,25 @@ class TraceQuery : public Query {
 // pattern-search — Boyer-Moore byte-sequence search in payloads ([23]).
 // Cost ~ bytes scanned. Accuracy: fraction of packets processed.
 // ---------------------------------------------------------------------------
-class PatternSearchQuery : public Query {
+class PatternSearchQuery : public Query, public ShardableQuery {
  public:
   explicit PatternSearchQuery(std::string pattern = "HTTP/1.1", size_t interval_bins = 10);
 
   const std::vector<double>& match_counts() const { return snaps_; }
+
+  // Intra-query sharding over *scanned bytes*, not packets: shard units are
+  // the concatenated effective payload stream, so a seam may fall inside a
+  // payload. A shard owns occurrences *starting* in its unit range and scans
+  // pattern.size() - 1 bytes past its seam (within the packet) so straddling
+  // occurrences are found by exactly one shard.
+  ShardableQuery* shardable() override { return this; }
+  size_t ShardUnits(const BatchInput& in) const override;
+  size_t MinShardUnits() const override { return 4096; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
 
  protected:
   void OnBatch(const BatchInput& in) override;
@@ -277,7 +336,7 @@ class BuggyP2pDetectorQuery : public P2pDetectorQuery {
 // ([55] in the thesis): the most specific IP prefixes whose unreported
 // traffic exceeds a threshold fraction of the total.
 // ---------------------------------------------------------------------------
-class AutofocusQuery : public Query {
+class AutofocusQuery : public Query, public ShardableQuery {
  public:
   explicit AutofocusQuery(double threshold_fraction = 0.02, size_t interval_bins = 10);
 
@@ -289,6 +348,14 @@ class AutofocusQuery : public Query {
 
   double IntervalError(const Query& reference, size_t interval) const override;
 
+  // Intra-query sharding (mergeable state; see query::ShardableQuery).
+  ShardableQuery* shardable() override { return this; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
+
  protected:
   void OnBatch(const BatchInput& in) override;
   void OnEndInterval(size_t interval_index) override;
@@ -297,13 +364,16 @@ class AutofocusQuery : public Query {
   double threshold_fraction_;
   std::unordered_map<uint32_t, double> src_bytes_;
   std::vector<std::set<uint64_t>> snaps_;
+  // Reused per-batch scratch, as in TopKQuery.
+  std::unordered_map<uint32_t, double> batch_bytes_;
+  std::vector<uint32_t> batch_order_;
 };
 
 // ---------------------------------------------------------------------------
 // super-sources — sources with the largest fan-out (distinct destinations,
 // [139] in the thesis), counted per source with small direct bitmaps.
 // ---------------------------------------------------------------------------
-class SuperSourcesQuery : public Query {
+class SuperSourcesQuery : public Query, public ShardableQuery {
  public:
   explicit SuperSourcesQuery(size_t top_n = 10, size_t interval_bins = 10);
 
@@ -317,6 +387,14 @@ class SuperSourcesQuery : public Query {
   const std::vector<Snapshot>& snapshots() const { return snaps_; }
 
   double IntervalError(const Query& reference, size_t interval) const override;
+
+  // Intra-query sharding (mergeable state; see query::ShardableQuery).
+  ShardableQuery* shardable() override { return this; }
+  std::unique_ptr<ShardState> ForkShard() const override;
+  void OnShardBatch(ShardState& shard, const BatchInput& in, size_t begin,
+                    size_t end) const override;
+  void MergeShard(ShardState& into, ShardState&& from) const override;
+  void ApplyShards(const BatchInput& in, ShardState&& merged) override;
 
  protected:
   void OnBatch(const BatchInput& in) override;

@@ -38,6 +38,7 @@ HOT_PATH = (
     "BM_BoyerMoore",
     "BM_PipelinePackets",
     "BM_PipelinePacketsThreads",
+    "BM_PipelinePacketsShards",
 )
 
 

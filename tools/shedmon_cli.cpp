@@ -127,7 +127,7 @@ int Usage() {
       "  run         FILE --queries a,b,c [--k 0.5] [--strategy eq|cpu|pkt]\n"
       "              [--shedder predictive|reactive|none] [--custom]\n"
       "              [--oracle model|measured] [--bin-us N] [--threads N]\n"
-      "              [--csv FILE] [--jsonl FILE]\n"
+      "              [--shards N] [--csv FILE] [--jsonl FILE]\n"
       "  queries     (list available queries and their default min rates)\n");
   return 2;
 }
@@ -261,6 +261,10 @@ int CmdRun(const Flags& flags) {
           .Oracle(oracle)
           .CyclesPerBin(capacity)
           .Threads(flags.GetU64("threads", 0))
+          // Intra-query sharding: split one query's bin batch across the
+          // worker pool (only effective with --threads > 0); results are
+          // bit-identical at any shard count.
+          .MaxShardsPerQuery(flags.GetU64("shards", 1))
           .Build();
   std::vector<QueryHandle> handles;
   for (const auto& name : queries) {
