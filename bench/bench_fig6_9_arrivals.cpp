@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(arrival_us) * 1e-6, arrivals[next_arrival].c_str());
       ++next_arrival;
     }
-    pipeline.Push(packet);
+    pipeline.Push(net::Packet::View(packet));
   }
   pipeline.Finish();
   const core::MonitoringSystem& system = pipeline.system();

@@ -66,7 +66,7 @@ int main() {
   //    bin closes. No pre-batching on the caller's side.
   std::printf("\nstreaming (one status line per second):\n");
   for (const net::PacketRecord& packet : traffic.packets) {
-    pipeline.Push(packet);
+    pipeline.Push(net::Packet::View(packet));
   }
   pipeline.Finish();
 

@@ -1,0 +1,211 @@
+#include "src/api/config.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace shedmon::api {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void Fail(std::string_view origin, size_t line_no, const std::string& what) {
+  throw ConfigError(std::string(origin) + ":" + std::to_string(line_no) + ": " + what);
+}
+
+uint64_t ParseU64(std::string_view origin, size_t line_no, std::string_view key,
+                  const std::string& value) {
+  try {
+    size_t consumed = 0;
+    const uint64_t parsed = std::stoull(value, &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    Fail(origin, line_no, std::string(key) + ": expected an unsigned integer, got '" + value + "'");
+  }
+}
+
+double ParseF64(std::string_view origin, size_t line_no, std::string_view key,
+                const std::string& value) {
+  try {
+    size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    Fail(origin, line_no, std::string(key) + ": expected a number, got '" + value + "'");
+  }
+}
+
+bool ParseBool(std::string_view origin, size_t line_no, std::string_view key,
+               const std::string& value) {
+  if (value == "true" || value == "1" || value == "on" || value == "yes") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "off" || value == "no") {
+    return false;
+  }
+  Fail(origin, line_no, std::string(key) + ": expected a boolean, got '" + value + "'");
+}
+
+}  // namespace
+
+FileConfig ParseConfig(std::istream& in, std::string_view origin) {
+  FileConfig config;
+  std::string section;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = line;
+    if (const size_t comment = text.find_first_of("#;"); comment != std::string_view::npos) {
+      text = text.substr(0, comment);
+    }
+    text = Trim(text);
+    if (text.empty()) {
+      continue;
+    }
+    if (text.front() == '[') {
+      if (text.back() != ']' || text.size() < 3) {
+        Fail(origin, line_no, "malformed section header '" + std::string(text) + "'");
+      }
+      section = std::string(Trim(text.substr(1, text.size() - 2)));
+      if (section != "system" && section != "predictor" && section != "queries" &&
+          section != "sinks") {
+        Fail(origin, line_no, "unknown section [" + section + "]");
+      }
+      continue;
+    }
+    const size_t eq = text.find('=');
+    if (eq == std::string_view::npos) {
+      Fail(origin, line_no, "expected 'key = value', got '" + std::string(text) + "'");
+    }
+    const std::string key(Trim(text.substr(0, eq)));
+    const std::string value(Trim(text.substr(eq + 1)));
+    if (key.empty()) {
+      Fail(origin, line_no, "empty key");
+    }
+    if (section.empty()) {
+      Fail(origin, line_no, "key '" + key + "' appears before any [section]");
+    }
+
+    if (section == "system") {
+      core::SystemConfig& sys = config.system;
+      if (key == "time_bin_us") {
+        sys.time_bin_us = ParseU64(origin, line_no, key, value);
+      } else if (key == "cycles_per_bin") {
+        sys.cycles_per_bin = ParseF64(origin, line_no, key, value);
+      } else if (key == "shedder") {
+        if (value == "predictive") {
+          sys.shedder = core::ShedderKind::kPredictive;
+        } else if (value == "reactive") {
+          sys.shedder = core::ShedderKind::kReactive;
+        } else if (value == "noshed") {
+          sys.shedder = core::ShedderKind::kNoShed;
+        } else {
+          Fail(origin, line_no, "shedder: expected predictive|reactive|noshed, got '" + value + "'");
+        }
+      } else if (key == "strategy") {
+        if (value == "eq_srates") {
+          sys.strategy = shed::StrategyKind::kEqSrates;
+        } else if (value == "mmfs_cpu") {
+          sys.strategy = shed::StrategyKind::kMmfsCpu;
+        } else if (value == "mmfs_pkt") {
+          sys.strategy = shed::StrategyKind::kMmfsPkt;
+        } else {
+          Fail(origin, line_no, "strategy: expected eq_srates|mmfs_cpu|mmfs_pkt, got '" + value + "'");
+        }
+      } else if (key == "threads") {
+        sys.num_threads = static_cast<size_t>(ParseU64(origin, line_no, key, value));
+      } else if (key == "shards") {
+        sys.max_shards_per_query = static_cast<size_t>(ParseU64(origin, line_no, key, value));
+      } else if (key == "seed") {
+        sys.seed = ParseU64(origin, line_no, key, value);
+      } else if (key == "buffer_bins") {
+        sys.buffer_bins = ParseF64(origin, line_no, key, value);
+      } else if (key == "ewma_alpha") {
+        sys.ewma_alpha = ParseF64(origin, line_no, key, value);
+      } else if (key == "como_overhead") {
+        sys.como_overhead_fraction = ParseF64(origin, line_no, key, value);
+      } else if (key == "custom_shedding") {
+        sys.enable_custom_shedding = ParseBool(origin, line_no, key, value);
+      } else if (key == "oracle") {
+        if (value == "model") {
+          config.oracle = core::OracleKind::kModel;
+        } else if (value == "measured") {
+          config.oracle = core::OracleKind::kMeasured;
+        } else {
+          Fail(origin, line_no, "oracle: expected model|measured, got '" + value + "'");
+        }
+      } else if (key == "track_accuracy") {
+        config.track_accuracy = ParseBool(origin, line_no, key, value);
+      } else if (key == "default_min_rates") {
+        config.default_min_rates = ParseBool(origin, line_no, key, value);
+      } else {
+        Fail(origin, line_no, "unknown [system] key '" + key + "'");
+      }
+    } else if (section == "predictor") {
+      predict::PredictorConfig& pred = config.system.predictor;
+      if (key == "kind") {
+        if (value == "mlr") {
+          pred.kind = predict::PredictorKind::kMlr;
+        } else if (value == "slr") {
+          pred.kind = predict::PredictorKind::kSlr;
+        } else if (value == "ewma") {
+          pred.kind = predict::PredictorKind::kEwma;
+        } else {
+          Fail(origin, line_no, "kind: expected mlr|slr|ewma, got '" + value + "'");
+        }
+      } else if (key == "history") {
+        pred.history = static_cast<size_t>(ParseU64(origin, line_no, key, value));
+      } else if (key == "fcbf_threshold") {
+        pred.fcbf_threshold = ParseF64(origin, line_no, key, value);
+      } else if (key == "ewma_alpha") {
+        pred.ewma_alpha = ParseF64(origin, line_no, key, value);
+      } else {
+        Fail(origin, line_no, "unknown [predictor] key '" + key + "'");
+      }
+    } else if (section == "queries") {
+      if (key == "add") {
+        config.queries.push_back(value);
+      } else {
+        Fail(origin, line_no, "unknown [queries] key '" + key + "' (use 'add = <name>')");
+      }
+    } else {  // sinks
+      if (key == "csv") {
+        config.csv_path = value;
+      } else if (key == "jsonl") {
+        config.jsonl_path = value;
+      } else if (key == "log") {
+        config.log_path = value;
+      } else {
+        Fail(origin, line_no, "unknown [sinks] key '" + key + "'");
+      }
+    }
+  }
+  return config;
+}
+
+FileConfig ParseConfigFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ConfigError("cannot open config file: " + path);
+  }
+  return ParseConfig(in, path);
+}
+
+}  // namespace shedmon::api

@@ -1,9 +1,11 @@
 #include "src/api/pipeline.h"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 
+#include "src/api/sinks.h"
 #include "src/core/runner.h"
 #include "src/exec/thread_pool.h"
 #include "src/query/queries.h"
@@ -12,6 +14,16 @@ namespace shedmon::api {
 
 namespace {
 constexpr size_t kNpos = static_cast<size_t>(-1);
+
+// Sink-path probe for eager validation: Build() must fail before a system
+// exists, not after the first bin, so the path is opened (append, to not
+// clobber an existing file) and closed again.
+void CheckWritable(const std::string& path, std::string_view what) {
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw ConfigError(std::string(what) + ": cannot open '" + path + "' for writing");
+  }
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -118,6 +130,32 @@ PipelineBuilder& PipelineBuilder::DefaultMinRates(bool enable) {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::AddQuery(std::string_view name) {
+  queries_.push_back({std::string(name), {}, /*has_config=*/false});
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::AddQuery(std::string_view name,
+                                           const core::QueryConfig& config) {
+  queries_.push_back({std::string(name), config, /*has_config=*/true});
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::CsvTo(std::string path) {
+  csv_path_ = std::move(path);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::JsonlTo(std::string path) {
+  jsonl_path_ = std::move(path);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::LogTo(std::string path) {
+  log_path_ = std::move(path);
+  return *this;
+}
+
 PipelineBuilder PipelineBuilder::FromRunSpec(const core::RunSpec& spec) {
   PipelineBuilder builder;
   builder.config_ = spec.system;
@@ -126,28 +164,128 @@ PipelineBuilder PipelineBuilder::FromRunSpec(const core::RunSpec& spec) {
   return builder;
 }
 
+PipelineBuilder PipelineBuilder::FromConfig(const FileConfig& config) {
+  PipelineBuilder builder;
+  builder.config_ = config.system;
+  builder.oracle_ = config.oracle;
+  builder.track_accuracy_ = config.track_accuracy;
+  builder.default_min_rates_ = config.default_min_rates;
+  for (const std::string& name : config.queries) {
+    builder.AddQuery(name);
+  }
+  builder.csv_path_ = config.csv_path;
+  builder.jsonl_path_ = config.jsonl_path;
+  builder.log_path_ = config.log_path;
+  return builder;
+}
+
+PipelineBuilder PipelineBuilder::FromConfigFile(const std::string& path) {
+  return FromConfig(ParseConfigFile(path));
+}
+
+void PipelineBuilder::Validate() const {
+  if (config_.time_bin_us == 0) {
+    throw ConfigError("time_bin_us must be positive");
+  }
+  if (config_.cycles_per_bin < 0.0) {
+    throw ConfigError("cycles_per_bin must be >= 0 (0 = oracle's real-time budget)");
+  }
+  if (!(config_.buffer_bins > 0.0)) {
+    throw ConfigError("buffer_bins must be positive");
+  }
+  if (!(config_.ewma_alpha > 0.0) || config_.ewma_alpha > 1.0) {
+    throw ConfigError("ewma_alpha must be in (0, 1]");
+  }
+  if (config_.como_overhead_fraction < 0.0 || config_.como_overhead_fraction >= 1.0) {
+    throw ConfigError("como_overhead_fraction must be in [0, 1)");
+  }
+  if (config_.bootstrap_rate < 0.0 || config_.bootstrap_rate > 1.0) {
+    throw ConfigError("bootstrap_rate must be in [0, 1]");
+  }
+  if (config_.reactive_min_rate < 0.0 || config_.reactive_min_rate > 1.0) {
+    throw ConfigError("reactive_min_rate must be in [0, 1]");
+  }
+  if (config_.system_interval_bins == 0) {
+    throw ConfigError("system_interval_bins must be positive");
+  }
+  if (config_.max_shards_per_query == 0) {
+    throw ConfigError("max_shards_per_query must be >= 1 (1 = no intra-query sharding)");
+  }
+  if (config_.max_shards_per_query > 1 && config_.num_threads == 0) {
+    throw ConfigError(
+        "max_shards_per_query > 1 requires num_threads > 0: shards fan out over the worker pool");
+  }
+  for (const PendingQuery& pending : queries_) {
+    // MakeQuery is the authority on the standard roster; a cheap construction
+    // here turns a typo into a ConfigError before any system exists.
+    try {
+      (void)query::MakeQuery(pending.name);
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError(std::string("unknown query '") + pending.name + "': " + e.what());
+    }
+    if (pending.has_config && (pending.config.min_sampling_rate < 0.0 ||
+                               pending.config.min_sampling_rate > 1.0)) {
+      throw ConfigError("query '" + pending.name + "': min_sampling_rate must be in [0, 1]");
+    }
+  }
+  if (!csv_path_.empty()) {
+    CheckWritable(csv_path_, "csv sink");
+  }
+  if (!jsonl_path_.empty()) {
+    CheckWritable(jsonl_path_, "jsonl sink");
+  }
+  if (!log_path_.empty()) {
+    CheckWritable(log_path_, "event log");
+  }
+}
+
 Pipeline PipelineBuilder::Build() const {
-  return Pipeline(config_, core::MakeOracle(oracle_), track_accuracy_, default_min_rates_);
+  Validate();
+  return Pipeline(*this);
 }
 
 std::unique_ptr<Pipeline> PipelineBuilder::BuildUnique() const {
-  return std::unique_ptr<Pipeline>(
-      new Pipeline(config_, core::MakeOracle(oracle_), track_accuracy_, default_min_rates_));
+  Validate();
+  return std::unique_ptr<Pipeline>(new Pipeline(*this));
 }
 
 // ---------------------------------------------------------------------------
 // Pipeline
 // ---------------------------------------------------------------------------
 
-Pipeline::Pipeline(const core::SystemConfig& config, std::unique_ptr<core::CostOracle> oracle,
+Pipeline::Pipeline(const core::SystemConfig& config, core::OracleKind oracle_kind,
                    bool track_accuracy, bool default_min_rates)
     : track_accuracy_(track_accuracy),
       default_min_rates_(default_min_rates),
+      oracle_kind_(oracle_kind),
       bin_us_(config.time_bin_us) {
   if (config.time_bin_us == 0) {
-    throw std::invalid_argument("Pipeline: time_bin_us must be positive");
+    // ConfigError derives from std::invalid_argument, the contract callers
+    // relied on before eager builder validation existed.
+    throw ConfigError("Pipeline: time_bin_us must be positive");
   }
-  system_ = std::make_unique<core::MonitoringSystem>(config, std::move(oracle));
+  system_ = std::make_unique<core::MonitoringSystem>(config, core::MakeOracle(oracle_kind));
+}
+
+Pipeline::Pipeline(const PipelineBuilder& builder)
+    : Pipeline(builder.config_, builder.oracle_, builder.track_accuracy_,
+               builder.default_min_rates_) {
+  for (const PipelineBuilder::PendingQuery& pending : builder.queries_) {
+    if (pending.has_config) {
+      AddQuery(pending.name, pending.config);
+    } else {
+      AddQuery(pending.name);
+    }
+  }
+  if (!builder.csv_path_.empty()) {
+    AddObserver(std::make_unique<CsvBinSink>(builder.csv_path_));
+  }
+  if (!builder.jsonl_path_.empty()) {
+    AddObserver(std::make_unique<JsonlBinSink>(builder.jsonl_path_));
+  }
+  if (!builder.log_path_.empty()) {
+    SetLogger(std::make_unique<obs::JsonlLogger>(builder.log_path_));
+  }
 }
 
 Pipeline::~Pipeline() = default;
@@ -206,6 +344,12 @@ QueryHandle Pipeline::Register(const core::QueryConfig& config,
   slot.id = next_id_++;
   slot.reference = std::move(reference);
   slots_.push_back(std::move(slot));
+  if (logger_ != nullptr) {
+    logger_->Write(obs::LogEvent("query_added")
+                       .Str("query", system_->query(slots_.size() - 1).name())
+                       .Int("bin", open_bin_)
+                       .Num("min_sampling_rate", config.min_sampling_rate));
+  }
   return QueryHandle(this, slots_.back().id);
 }
 
@@ -219,6 +363,11 @@ DetachedQuery Pipeline::Detach(QueryHandle handle) {
   detached.reference = std::move(slots_[index].reference);
   slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(index));
   detached.query = system_->RemoveQuery(index);
+  if (logger_ != nullptr) {
+    logger_->Write(obs::LogEvent("query_removed")
+                       .Str("query", detached.query->name())
+                       .Int("bin", open_bin_));
+  }
   return detached;
 }
 
@@ -235,18 +384,10 @@ void Pipeline::AddObserver(std::unique_ptr<BinObserver> observer) {
   }
 }
 
-void Pipeline::Push(const net::PacketRecord& record) { AppendRecord(record, nullptr); }
-
 void Pipeline::Push(const net::Packet& packet) {
   net::PacketRecord record = *packet.rec;
   record.payload_len = packet.payload_len;
   AppendRecord(record, packet.payload);
-}
-
-void Pipeline::Push(std::span<const net::PacketRecord> records) {
-  for (const net::PacketRecord& record : records) {
-    Push(record);
-  }
 }
 
 void Pipeline::Push(std::span<const net::Packet> packets) {
@@ -256,7 +397,19 @@ void Pipeline::Push(std::span<const net::Packet> packets) {
 }
 
 void Pipeline::Push(const trace::Trace& trace) {
-  Push(std::span<const net::PacketRecord>(trace.packets));
+  for (const net::PacketRecord& record : trace.packets) {
+    AppendRecord(record, nullptr);
+  }
+}
+
+// Deprecated raw-record shims; bodies go straight to AppendRecord so the
+// library builds without tripping its own deprecation warnings.
+void Pipeline::Push(const net::PacketRecord& record) { AppendRecord(record, nullptr); }
+
+void Pipeline::Push(std::span<const net::PacketRecord> records) {
+  for (const net::PacketRecord& record : records) {
+    AppendRecord(record, nullptr);
+  }
 }
 
 void Pipeline::AppendRecord(const net::PacketRecord& record, const uint8_t* payload_bytes) {
@@ -312,6 +465,7 @@ void Pipeline::CloseOpenBin() {
   }
 
   system_->ProcessBatch(batch_);
+  UpdateTallies(system_->log().back());
   RunReferences();
   NotifyObservers();
 
@@ -388,6 +542,59 @@ void Pipeline::Finish() {
   for (BinObserver* observer : observers_) {
     observer->OnRunEnd();
   }
+  if (logger_ != nullptr) {
+    logger_->Write(obs::LogEvent("finish")
+                       .Int("bins", bins_processed_)
+                       .Int("packets", system_->total_packets())
+                       .Int("dropped", system_->total_dropped()));
+    logger_->Flush();
+  }
+}
+
+void Pipeline::UpdateTallies(const core::BinLog& log) {
+  ++tally_bins_;
+  shed_packets_ += log.packets_unsampled;
+  if (log.overload) {
+    ++overload_bins_;
+  }
+  if (log.batch_dropped) {
+    ++batches_dropped_;
+  }
+  const double capacity = system_->capacity();
+  const double spent = log.query_cycles + log.ps_cycles + log.ls_cycles + log.como_cycles;
+  last_util_ = capacity > 0.0 ? spent / capacity : 0.0;
+  util_sum_ += last_util_;
+  if (logger_ != nullptr) {
+    logger_->Write(obs::LogEvent("bin_closed")
+                       .Int("bin", open_bin_)
+                       .Int("packets", log.packets_in)
+                       .Int("dropped", log.packets_dropped)
+                       .Num("shed", log.packets_unsampled)
+                       .Bool("overload", log.overload)
+                       .Num("utilization", last_util_)
+                       .Num("backlog_cycles", log.backlog_cycles));
+  }
+}
+
+PipelineStats Pipeline::Stats() const {
+  PipelineStats stats;
+  stats.bins = bins_processed_;
+  stats.queries = system_->num_queries();
+  stats.packets = system_->total_packets();
+  stats.dropped = system_->total_dropped();
+  stats.shed = shed_packets_;
+  stats.overload_bins = overload_bins_;
+  stats.batches_dropped = batches_dropped_;
+  stats.capacity = system_->capacity();
+  stats.last_utilization = last_util_;
+  stats.mean_utilization = tally_bins_ > 0 ? util_sum_ / static_cast<double>(tally_bins_) : 0.0;
+  stats.prediction_error_ewma = system_->error_ewma_value();
+  stats.backlog_cycles = system_->backlog_cycles();
+  return stats;
+}
+
+void Pipeline::SetLogger(std::unique_ptr<obs::JsonlLogger> logger) {
+  logger_ = std::move(logger);
 }
 
 query::AccuracyRow Pipeline::AccuracyAt(size_t index) const {

@@ -2,16 +2,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/api/config.h"
 #include "src/core/cost.h"
 #include "src/core/runner.h"
 #include "src/core/system.h"
 #include "src/net/packet.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
 #include "src/query/accuracy.h"
 #include "src/query/query.h"
 #include "src/trace/batch.h"
@@ -33,6 +37,24 @@ struct BinStats {
   double drop_fraction = 0.0;  // uncontrolled drops / packets_in
   double shed_fraction = 0.0;  // deliberately unsampled / packets_in
   std::vector<std::string_view> query_names;
+};
+
+// Typed whole-run summary, cheap to read at any point of a run (all fields
+// are running tallies, no log scan). A restored pipeline starts these from
+// zero: like the metrics registry, stats describe this process's activity.
+struct PipelineStats {
+  size_t bins = 0;             // closed time bins
+  size_t queries = 0;          // currently registered
+  uint64_t packets = 0;        // offered to the system
+  uint64_t dropped = 0;        // uncontrolled (capture buffer overflow)
+  double shed = 0.0;           // deliberately unsampled (query-averaged)
+  size_t overload_bins = 0;    // bins with predicted demand over budget
+  size_t batches_dropped = 0;  // whole batches lost to a full buffer
+  double capacity = 0.0;       // cycle budget per bin
+  double last_utilization = 0.0;
+  double mean_utilization = 0.0;  // across closed bins
+  double prediction_error_ewma = 0.0;
+  double backlog_cycles = 0.0;
 };
 
 // Streaming result sink: OnBin fires once per closed time bin, in bin order,
@@ -116,22 +138,71 @@ class PipelineBuilder {
   // QueryConfig (default on, matching core::RunSpec::use_default_min_rates).
   PipelineBuilder& DefaultMinRates(bool enable = true);
 
+  // ---- Declarative roster & sinks ----------------------------------------
+  // Standard queries (Table 2.2) registered automatically by Build(), with
+  // the builder's min-rate policy (or an explicit config). Validated eagerly:
+  // Build() throws ConfigError on an unknown name, before any system exists.
+  PipelineBuilder& AddQuery(std::string_view name);
+  PipelineBuilder& AddQuery(std::string_view name, const core::QueryConfig& config);
+  // Per-bin result sinks attached by Build() (CSV / JSONL rows, one per
+  // closed bin) and the structured JSONL event log (see Pipeline::SetLogger).
+  // Empty path = none. Build() throws ConfigError when a path cannot be
+  // opened for writing.
+  PipelineBuilder& CsvTo(std::string path);
+  PipelineBuilder& JsonlTo(std::string path);
+  PipelineBuilder& LogTo(std::string path);
+
   // Mirrors a core::RunSpec (system config, oracle, min-rate policy); the
   // spec's queries are added by the caller, e.g. via api::RunTrace.
   static PipelineBuilder FromRunSpec(const core::RunSpec& spec);
+  // Loads a parsed config file (see api::ParseConfigFile for the format):
+  // system knobs, query roster, and sinks. The fluent setters still apply on
+  // top, so a file can serve as a base that code overrides.
+  static PipelineBuilder FromConfig(const FileConfig& config);
+  static PipelineBuilder FromConfigFile(const std::string& path);
 
   const core::SystemConfig& config() const { return config_; }
+
+  // Validates the full configuration (ranges, cross-field rules, query
+  // names, sink paths) and throws ConfigError on the first violation.
+  // Build() calls this; exposed so tools can check a config without
+  // constructing a system.
+  void Validate() const;
 
   // Build() relies on guaranteed copy elision: Pipeline is neither copyable
   // nor movable so outstanding QueryHandles can never dangle.
   Pipeline Build() const;
   std::unique_ptr<Pipeline> BuildUnique() const;
 
+  // Reconstructs a pipeline from a Pipeline::Snapshot stream: rebuilds the
+  // serialized configuration and query roster, then reinstates the numeric
+  // state (RNG, smoothers, buffer/threshold, samplers, predictors, oracle)
+  // so that replaying the remaining input produces BinLogs field-identical
+  // to the uninterrupted run. Accuracy references, the metrics registry and
+  // PipelineStats restart from zero — they describe this process. The
+  // builder's own settings are ignored (the snapshot is authoritative);
+  // Restore is static so call sites read as PipelineBuilder::Restore(path).
+  // Throws obs::SnapshotError on a malformed or incompatible stream.
+  static std::unique_ptr<Pipeline> Restore(std::istream& in);
+  static std::unique_ptr<Pipeline> Restore(const std::string& path);
+
  private:
+  friend class Pipeline;  // Build() hands the whole builder to the ctor
+
+  struct PendingQuery {
+    std::string name;
+    core::QueryConfig config;
+    bool has_config = false;  // false: apply the builder's min-rate policy
+  };
+
   core::SystemConfig config_;
   core::OracleKind oracle_ = core::OracleKind::kModel;
   bool track_accuracy_ = true;
   bool default_min_rates_ = true;
+  std::vector<PendingQuery> queries_;
+  std::string csv_path_;
+  std::string jsonl_path_;
+  std::string log_path_;
 };
 
 // The supported public entry point to shedmon: a long-lived, online
@@ -189,14 +260,24 @@ class Pipeline {
   // packet older than the open bin throws std::invalid_argument. A packet in
   // a later bin first closes the open bin (and any empty bins in between),
   // firing observers, then starts the new bin.
-  void Push(const net::PacketRecord& record);
-  // Packet-view overload: copies the record and the materialized payload
-  // bytes, so the caller's batch/arena may be recycled right after the call.
+  //
+  // Packet is the one ingestion currency: it carries the record plus
+  // (optionally) materialized payload bytes, and the pipeline copies both so
+  // the caller's batch/arena may be recycled right after the call. A caller
+  // holding bare PacketRecords wraps them for free with net::Packet::View.
   void Push(const net::Packet& packet);
-  void Push(std::span<const net::PacketRecord> records);
   void Push(std::span<const net::Packet> packets);
   // Convenience: pushes a whole time-sorted trace record by record.
   void Push(const trace::Trace& trace);
+
+  // Raw-record compatibility shims. Deprecated: the record-vs-packet split
+  // made payload handling ambiguous at the API surface (records materialize
+  // payloads downstream, packets carry them), so ingestion converges on
+  // Packet. Equivalent to Push(net::Packet::View(record)).
+  [[deprecated("use Push(net::Packet::View(record)) — Packet is the ingestion currency")]]
+  void Push(const net::PacketRecord& record);
+  [[deprecated("wrap each record with net::Packet::View and use the Packet span overload")]]
+  void Push(std::span<const net::PacketRecord> records);
 
   // Declares that the clock reached `ts_us`: closes every bin that ends at
   // or before it (empty bins included) without pushing a packet. This is how
@@ -219,6 +300,36 @@ class Pipeline {
   uint64_t total_packets() const { return system_->total_packets(); }
   uint64_t total_dropped() const { return system_->total_dropped(); }
   uint64_t time_bin_us() const { return bin_us_; }
+
+  // ---- Observability -----------------------------------------------------
+  // The live metrics registry (counters, gauges, histograms over the whole
+  // system: shedding, prediction, execution). Scrape from any thread at any
+  // time — e.g. obs::PrometheusEncoder::Encode(pipeline.Metrics().Snapshot())
+  // — without perturbing results: instruments are updated lock-free and
+  // never read back by the pipeline.
+  obs::MetricsRegistry& Metrics() { return system_->metrics(); }
+  const obs::MetricsRegistry& Metrics() const { return system_->metrics(); }
+
+  // Typed whole-run summary from running tallies; O(queries), no log scan.
+  PipelineStats Stats() const;
+
+  // Attaches a structured JSONL event log: query_added / query_removed /
+  // bin_closed / snapshot / finish events, one JSON object per line. Pass
+  // null to detach. The logger is owned by the pipeline and written only
+  // from the coordinator thread.
+  void SetLogger(std::unique_ptr<obs::JsonlLogger> logger);
+
+  // ---- Snapshot ----------------------------------------------------------
+  // Serializes the run state (versioned binary format) so that
+  // PipelineBuilder::Restore + replaying the remaining input reproduces the
+  // uninterrupted run's BinLogs field-exactly. Only valid between bins on a
+  // measurement-interval boundary (every interval_bins-th closed bin, before
+  // any packet of the next bin): per-interval query state is empty there, so
+  // the numeric state is a complete description. Throws obs::SnapshotError
+  // when called mid-bin or mid-interval, when the pipeline holds a
+  // non-standard (user-supplied) query, or on I/O failure.
+  void Snapshot(std::ostream& out) const;
+  void Snapshot(const std::string& path) const;
 
   // Index-based accuracy twins of the QueryHandle accessors (index = current
   // registration order), for whole-run summaries.
@@ -246,8 +357,11 @@ class Pipeline {
     size_t ref_bins_in_interval = 0;
   };
 
-  Pipeline(const core::SystemConfig& config, std::unique_ptr<core::CostOracle> oracle,
+  Pipeline(const core::SystemConfig& config, core::OracleKind oracle_kind,
            bool track_accuracy, bool default_min_rates);
+  // The Build() path: validates, constructs, then registers the builder's
+  // pending queries and sinks. Builder stays const — it is reusable.
+  explicit Pipeline(const PipelineBuilder& builder);
 
   size_t FindSlot(uint64_t id) const noexcept;  // npos when unknown/removed
   size_t SlotIndex(uint64_t id) const;          // throws std::logic_error when stale
@@ -264,9 +378,11 @@ class Pipeline {
   void RunReferences();
   void NotifyObservers();
   void EnsureOpen(std::string_view op) const;
+  void UpdateTallies(const core::BinLog& log);
 
   bool track_accuracy_;
   bool default_min_rates_;
+  core::OracleKind oracle_kind_;  // remembered for Snapshot()
   std::unique_ptr<core::MonitoringSystem> system_;
   std::vector<Slot> slots_;
   uint64_t next_id_ = 1;
@@ -286,6 +402,18 @@ class Pipeline {
   std::vector<std::unique_ptr<BinObserver>> owned_observers_;
   size_t bins_processed_ = 0;
   bool finished_ = false;
+
+  // Running tallies behind Stats(); updated once per closed bin. Kept apart
+  // from bins_processed_ (which a restore carries over for bin numbering):
+  // tallies restart at restore, so the mean needs its own denominator.
+  size_t tally_bins_ = 0;
+  double shed_packets_ = 0.0;
+  size_t overload_bins_ = 0;
+  size_t batches_dropped_ = 0;
+  double util_sum_ = 0.0;
+  double last_util_ = 0.0;
+
+  std::unique_ptr<obs::JsonlLogger> logger_;
 };
 
 }  // namespace shedmon::api
@@ -298,5 +426,6 @@ using api::BinStats;
 using api::DetachedQuery;
 using api::Pipeline;
 using api::PipelineBuilder;
+using api::PipelineStats;
 using api::QueryHandle;
 }  // namespace shedmon

@@ -157,6 +157,14 @@ void ModelCostOracle::OnQueryRemoved(const query::Query* query) {
   last_work_.erase(query);
 }
 
+void ModelCostOracle::SaveState(obs::SnapshotWriter& w) const {
+  w.U64(call_count_.load(std::memory_order_relaxed));
+}
+
+void ModelCostOracle::LoadState(obs::SnapshotReader& r) {
+  call_count_.store(r.U64(), std::memory_order_relaxed);
+}
+
 double ModelCostOracle::DefaultBinBudget(uint64_t bin_us) const {
   // The model's cycle scale is arbitrary; 6e5 cycles per 100 ms roughly fits
   // the default traces' per-bin demand, but experiments set capacity via K.

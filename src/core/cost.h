@@ -8,6 +8,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "src/obs/snapshot.h"
 #include "src/query/query.h"
 #include "src/trace/batch.h"
 
@@ -87,6 +88,14 @@ class CostOracle {
   virtual double DefaultBinBudget(uint64_t bin_us) const = 0;
 
   virtual std::string_view name() const = 0;
+
+  // Snapshot/restore of ordering-relevant state. The measured oracle is
+  // stateless; the model oracle must preserve its call counter or the
+  // deterministic pseudo-noise sequence restarts and restored runs diverge
+  // from uninterrupted ones. Per-query baselines (last_work_) are rebuilt
+  // via OnQueryAdded on the restored instances, not serialized.
+  virtual void SaveState(obs::SnapshotWriter& w) const { (void)w; }
+  virtual void LoadState(obs::SnapshotReader& r) { (void)r; }
 };
 
 // Charges real elapsed TSC cycles around the executed work.
@@ -116,6 +125,8 @@ class ModelCostOracle : public CostOracle {
   void OnQueryRemoved(const query::Query* query) override;
   double DefaultBinBudget(uint64_t bin_us) const override;
   std::string_view name() const override { return "model"; }
+  void SaveState(obs::SnapshotWriter& w) const override;
+  void LoadState(obs::SnapshotReader& r) override;
 
   // Fallback cost for queries that do not meter their work: linear model over
   // the batch's exact packet/byte/distinct counts (shape of Fig. 2.2).

@@ -19,6 +19,7 @@ constexpr double kNearFullRate = 0.95;
 MonitoringSystem::MonitoringSystem(const SystemConfig& config,
                                    std::unique_ptr<CostOracle> oracle)
     : config_(config),
+      registry_(std::make_unique<obs::MetricsRegistry>()),
       oracle_(std::move(oracle)),
       pool_(config.num_threads > 0 ? std::make_unique<exec::ThreadPool>(config.num_threads)
                                    : nullptr),
@@ -32,6 +33,93 @@ MonitoringSystem::MonitoringSystem(const SystemConfig& config,
   capacity_ = config_.cycles_per_bin > 0.0 ? config_.cycles_per_bin
                                            : oracle_->DefaultBinBudget(config_.time_bin_us);
   ssthresh_ = config_.buffer_bins * capacity_;  // "initialized to infinity" (§4.1)
+  InitInstruments();
+}
+
+void MonitoringSystem::InitInstruments() {
+  obs::MetricsRegistry& reg = *registry_;
+  ins_.bins_total = &reg.GetCounter("shedmon_bins_total", {}, "Time bins processed");
+  ins_.packets_total =
+      &reg.GetCounter("shedmon_packets_total", {}, "Packets offered to the system");
+  ins_.packets_dropped_total = &reg.GetCounter(
+      "shedmon_packets_dropped_total", {}, "Packets lost to capture buffer overflow (uncontrolled)");
+  ins_.packets_shed_total = &reg.GetCounter(
+      "shedmon_packets_shed_total", {}, "Packets shed deliberately via sampling (query-averaged)");
+  ins_.batches_dropped_total =
+      &reg.GetCounter("shedmon_batches_dropped_total", {}, "Whole batches lost to a full buffer");
+  ins_.overload_bins_total = &reg.GetCounter("shedmon_overload_bins_total", {},
+                                             "Bins where predicted demand exceeded budget");
+  ins_.capacity_cycles = &reg.GetGauge("shedmon_capacity_cycles", {}, "Cycle budget per time bin");
+  ins_.backlog_cycles =
+      &reg.GetGauge("shedmon_backlog_cycles", {}, "Capture buffer occupancy after the last bin");
+  ins_.rtthresh_cycles =
+      &reg.GetGauge("shedmon_rtthresh_cycles", {}, "Buffer-discovery slack threshold (section 4.1)");
+  ins_.avail_cycles =
+      &reg.GetGauge("shedmon_avail_cycles", {}, "Cycles available to queries in the last bin");
+  ins_.utilization =
+      &reg.GetGauge("shedmon_utilization", {}, "Cycles spent over capacity in the last bin");
+  ins_.prediction_error_ewma = &reg.GetGauge("shedmon_prediction_error_ewma", {},
+                                             "Smoothed relative prediction error (Alg. 1)");
+  ins_.bin_utilization =
+      &reg.GetHistogram("shedmon_bin_utilization", {0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0},
+                        {}, "Per-bin cycles spent over capacity");
+  ins_.prediction_error_ratio = &reg.GetHistogram(
+      "shedmon_prediction_error_ratio", {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}, {},
+      "Per-bin |predicted - actual| / actual query cycles");
+  ins_.capacity_cycles->Set(capacity_);
+
+  if (pool_ != nullptr) {
+    exec::PoolMetricsHooks hooks;
+    hooks.queue_depth =
+        &reg.GetGauge("shedmon_exec_queue_depth", {}, "Tasks waiting in the pool queue");
+    hooks.tasks_total =
+        &reg.GetCounter("shedmon_exec_tasks_total", {}, "Tasks executed by pool workers");
+    hooks.task_seconds =
+        &reg.GetHistogram("shedmon_exec_task_seconds", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0}, {},
+                          "Per-task wall time in seconds");
+    pool_->SetMetrics(hooks);
+    executor_.SetMetrics(
+        &reg.GetHistogram("shedmon_exec_wave_seconds", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0}, {},
+                          "Per-bin shard-wave fan-out wall time in seconds"));
+  }
+}
+
+void MonitoringSystem::UpdateBinInstruments(const BinLog& log) {
+  ins_.bins_total->Increment();
+  ins_.packets_total->Add(static_cast<double>(log.packets_in));
+  ins_.packets_dropped_total->Add(static_cast<double>(log.packets_dropped));
+  ins_.packets_shed_total->Add(log.packets_unsampled);
+  if (log.batch_dropped) {
+    ins_.batches_dropped_total->Increment();
+  }
+  if (log.overload) {
+    ins_.overload_bins_total->Increment();
+  }
+  ins_.capacity_cycles->Set(capacity_);
+  ins_.backlog_cycles->Set(backlog_cycles_);
+  ins_.rtthresh_cycles->Set(rtthresh_);
+  ins_.avail_cycles->Set(log.avail_cycles);
+  const double spent = log.query_cycles + log.ps_cycles + log.ls_cycles + log.como_cycles;
+  const double util = capacity_ > kEps ? spent / capacity_ : 0.0;
+  ins_.utilization->Set(util);
+  ins_.bin_utilization->Observe(util);
+  ins_.prediction_error_ewma->Set(error_ewma_.value());
+  if (log.query_cycles > kEps && log.predicted_cycles > kEps) {
+    ins_.prediction_error_ratio->Observe(
+        std::abs(log.predicted_cycles - log.query_cycles) / log.query_cycles);
+  }
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    QueryRuntime& qr = *queries_[q];
+    if (qr.m_rate == nullptr) {
+      continue;
+    }
+    qr.m_rate->Set(q < log.rate.size() ? log.rate[q] : 0.0);
+    qr.m_cycles->Add(q < log.per_query_cycles.size() ? log.per_query_cycles[q] : 0.0);
+    if (q < log.disabled.size() && log.disabled[q]) {
+      qr.m_disabled_bins->Increment();
+    }
+    qr.m_times_policed->Set(static_cast<double>(qr.enforcement.GetState().times_policed));
+  }
 }
 
 MonitoringSystem::~MonitoringSystem() = default;
@@ -48,7 +136,17 @@ query::Query& MonitoringSystem::AddQuery(std::unique_ptr<query::Query> query,
   // instances, and what keeps a re-registered veteran instance charged only
   // for its new work.
   oracle_->OnQueryAdded(queries_.back()->query.get());
-  return *queries_.back()->query;
+  QueryRuntime& qr = *queries_.back();
+  const obs::LabelSet labels{{"query", qr.query->name()}};
+  qr.m_rate = &registry_->GetGauge("shedmon_query_sampling_rate", labels,
+                                   "Sampling rate granted in the last bin");
+  qr.m_cycles =
+      &registry_->GetCounter("shedmon_query_cycles_total", labels, "Measured query cycles");
+  qr.m_disabled_bins = &registry_->GetCounter("shedmon_query_disabled_bins_total", labels,
+                                              "Bins where the query was disabled");
+  qr.m_times_policed = &registry_->GetGauge("shedmon_query_times_policed", labels,
+                                            "Enforcement policing actions against the query");
+  return *qr.query;
 }
 
 std::unique_ptr<query::Query> MonitoringSystem::RemoveQuery(size_t index) {
@@ -86,6 +184,7 @@ void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
     log.backlog_cycles = backlog_cycles_;
     log.rtthresh = rtthresh_;
     TickIntervals();
+    UpdateBinInstruments(log);
     log_.push_back(std::move(log));
     return;
   }
@@ -109,6 +208,7 @@ void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
   log.rtthresh = rtthresh_;
 
   TickIntervals();
+  UpdateBinInstruments(log);
   log_.push_back(std::move(log));
 }
 
@@ -604,6 +704,96 @@ void MonitoringSystem::UpdateBufferAndThreshold(double spent_total) {
     }
     rtthresh_ = std::min(rtthresh_, std::min(capacity_, 0.9 * buffer_cap));
   }
+}
+
+bool MonitoringSystem::AtIntervalBoundary() const {
+  if (sys_bins_in_interval_ != 0) {
+    return false;
+  }
+  for (const auto& qr : queries_) {
+    if (qr->bins_in_interval != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MonitoringSystem::SaveState(obs::SnapshotWriter& w) const {
+  w.RngState(rng_.State());
+  w.F64(capacity_);
+  w.F64(backlog_cycles_);
+  w.F64(rtthresh_);
+  w.F64(ssthresh_);
+  w.F64(error_ewma_.value());
+  w.Bool(error_ewma_.seeded());
+  w.F64(ls_ewma_.value());
+  w.Bool(ls_ewma_.seeded());
+  w.F64(ps_ewma_.value());
+  w.Bool(ps_ewma_.seeded());
+  w.F64(reactive_rate_);
+  w.F64(reactive_consumed_prev_);
+  w.U64(sys_bins_in_interval_);
+  w.U64(total_packets_);
+  w.U64(total_dropped_);
+  w.U64(queries_.size());
+  for (const auto& qr : queries_) {
+    w.U64(qr->bins_in_interval);
+    w.F64(qr->last_cycles);
+    w.RngState(qr->pkt_sampler.RngState());
+    w.U64(qr->flow_sampler.seed());
+    const shed::EnforcementPolicy::State es = qr->enforcement.GetState();
+    w.F64(es.usage_ratio);
+    w.Bool(es.usage_ratio_seeded);
+    w.I64(es.strikes);
+    w.I64(es.penalty_left);
+    w.U64(es.times_policed);
+    qr->engine.predictor().SaveState(w);
+  }
+  oracle_->SaveState(w);
+}
+
+void MonitoringSystem::LoadState(obs::SnapshotReader& r) {
+  rng_.SetState(r.RngState());
+  capacity_ = r.F64();
+  backlog_cycles_ = r.F64();
+  rtthresh_ = r.F64();
+  ssthresh_ = r.F64();
+  {
+    const double v = r.F64();
+    error_ewma_.Restore(v, r.Bool());
+  }
+  {
+    const double v = r.F64();
+    ls_ewma_.Restore(v, r.Bool());
+  }
+  {
+    const double v = r.F64();
+    ps_ewma_.Restore(v, r.Bool());
+  }
+  reactive_rate_ = r.F64();
+  reactive_consumed_prev_ = r.F64();
+  sys_bins_in_interval_ = static_cast<size_t>(r.U64());
+  total_packets_ = r.U64();
+  total_dropped_ = r.U64();
+  const uint64_t n = r.U64();
+  if (n != queries_.size()) {
+    throw obs::SnapshotError("snapshot query count does not match the registered roster");
+  }
+  for (auto& qr : queries_) {
+    qr->bins_in_interval = static_cast<size_t>(r.U64());
+    qr->last_cycles = r.F64();
+    qr->pkt_sampler.SetRngState(r.RngState());
+    qr->flow_sampler.Reseed(r.U64());
+    shed::EnforcementPolicy::State es;
+    es.usage_ratio = r.F64();
+    es.usage_ratio_seeded = r.Bool();
+    es.strikes = static_cast<int>(r.I64());
+    es.penalty_left = static_cast<int>(r.I64());
+    es.times_policed = r.U64();
+    qr->enforcement.SetState(es);
+    qr->engine.predictor().LoadState(r);
+  }
+  oracle_->LoadState(r);
 }
 
 void MonitoringSystem::Finish() {

@@ -11,6 +11,8 @@
 #include "src/exec/query_executor.h"
 #include "src/exec/thread_pool.h"
 #include "src/features/extractor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
 #include "src/predict/engine.h"
 #include "src/query/query.h"
 #include "src/shed/enforcement.h"
@@ -161,6 +163,31 @@ class MonitoringSystem {
   uint64_t total_packets() const { return total_packets_; }
   uint64_t total_dropped() const { return total_dropped_; }
 
+  // ---- Observability -------------------------------------------------------
+  // Live metrics registry; always present. The hot path caches instrument
+  // pointers, updates them once per bin on the coordinating thread, and
+  // never reads them back, so scraping at any moment cannot perturb results.
+  obs::MetricsRegistry& metrics() { return *registry_; }
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
+
+  const QueryConfig& query_config(size_t i) const { return queries_[i]->config; }
+  double backlog_cycles() const { return backlog_cycles_; }
+  double rtthresh() const { return rtthresh_; }
+  double error_ewma_value() const { return error_ewma_.value(); }
+
+  // ---- Snapshot/restore ----------------------------------------------------
+  // True when every query's measurement interval and the system's shared
+  // interval are freshly reset — the only points where per-interval query
+  // and extractor state is empty, making the numeric state below a complete
+  // description of the run.
+  bool AtIntervalBoundary() const;
+  // Serializes the mutable numeric state (RNG, smoothers, buffer/threshold,
+  // per-query sampler/enforcement/predictor state, oracle state). The
+  // configuration and query roster travel separately (api::Pipeline writes
+  // them first); LoadState expects the same roster in the same order.
+  void SaveState(obs::SnapshotWriter& w) const;
+  void LoadState(obs::SnapshotReader& r);
+
  private:
   struct QueryRuntime {
     std::unique_ptr<query::Query> query;
@@ -171,6 +198,13 @@ class MonitoringSystem {
     shed::EnforcementPolicy enforcement;
     size_t bins_in_interval = 0;
     double last_cycles = 0.0;  // previous bin's consumption (reactive)
+    // Per-query instruments (labelled {query=<name>}), borrowed from
+    // registry_; set right after registration, written once per bin by the
+    // coordinator.
+    obs::Gauge* m_rate = nullptr;
+    obs::Counter* m_cycles = nullptr;
+    obs::Counter* m_disabled_bins = nullptr;
+    obs::Gauge* m_times_policed = nullptr;
     // Reusable buffer the samplers write into: sampling a batch stops
     // allocating once the buffer has grown to the query's working set.
     // Valid only within the bin's execute waves — its Packets point into
@@ -261,7 +295,34 @@ class MonitoringSystem {
   void TickIntervals();
   void UpdateBufferAndThreshold(double spent_total);
 
+  // System-level instruments, borrowed from registry_ and cached at
+  // construction so per-bin updates are pointer stores, not map lookups.
+  struct Instruments {
+    obs::Counter* bins_total = nullptr;
+    obs::Counter* packets_total = nullptr;
+    obs::Counter* packets_dropped_total = nullptr;
+    obs::Counter* packets_shed_total = nullptr;
+    obs::Counter* batches_dropped_total = nullptr;
+    obs::Counter* overload_bins_total = nullptr;
+    obs::Gauge* capacity_cycles = nullptr;
+    obs::Gauge* backlog_cycles = nullptr;
+    obs::Gauge* rtthresh_cycles = nullptr;
+    obs::Gauge* avail_cycles = nullptr;
+    obs::Gauge* utilization = nullptr;
+    obs::Gauge* prediction_error_ewma = nullptr;
+    obs::Histogram* bin_utilization = nullptr;
+    obs::Histogram* prediction_error_ratio = nullptr;
+  };
+
+  void InitInstruments();
+  // Publishes one finished bin into the registry. Runs on the coordinating
+  // thread after the bin's BinLog is final; reads the log, never writes any
+  // shedding state, so it cannot perturb results.
+  void UpdateBinInstruments(const BinLog& log);
+
   SystemConfig config_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  Instruments ins_;
   std::unique_ptr<CostOracle> oracle_;
   std::unique_ptr<exec::ThreadPool> pool_;  // null when num_threads == 0
   exec::QueryExecutor executor_;

@@ -1,8 +1,10 @@
 #include "src/exec/query_executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/exec/thread_pool.h"
+#include "src/obs/metrics.h"
 
 namespace shedmon::exec {
 
@@ -40,7 +42,14 @@ void QueryExecutor::Run(size_t n, const std::function<void(size_t)>& task,
     if (pool_ != nullptr && n > 1) {
       // Grain 1: per-query costs are heterogeneous (Fig. 2.2 spans ~20x), so
       // fine-grained dispatch load-balances better than equal chunks.
-      pool_->ParallelFor(0, n, 1, task);
+      if (wave_seconds_ != nullptr) {
+        const auto start = std::chrono::steady_clock::now();
+        pool_->ParallelFor(0, n, 1, task);
+        wave_seconds_->Observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+      } else {
+        pool_->ParallelFor(0, n, 1, task);
+      }
     } else {
       for (size_t i = 0; i < n; ++i) {
         task(i);

@@ -4,6 +4,10 @@
 #include <functional>
 #include <vector>
 
+namespace shedmon::obs {
+class Histogram;
+}  // namespace shedmon::obs
+
 namespace shedmon::exec {
 
 class ThreadPool;
@@ -45,6 +49,12 @@ class QueryExecutor {
   bool parallel() const { return pool_ != nullptr; }
   ThreadPool* pool() const { return pool_; }
 
+  // Optional shard-wave timing: when set (and the pool path is taken), each
+  // Run records the wall time of its task fan-out wave. Borrowed pointer;
+  // null disables. Timing is observational only — it never feeds back into
+  // shard planning, so instrumented runs stay bit-identical.
+  void SetMetrics(obs::Histogram* wave_seconds) { wave_seconds_ = wave_seconds; }
+
   // ---- Intra-query shard planning ----------------------------------------
   // How many shards to split one query's `units` of batch work into: capped
   // by the caller's `max_shards` budget, by the pool's execution contexts
@@ -65,6 +75,7 @@ class QueryExecutor {
 
  private:
   ThreadPool* pool_;
+  obs::Histogram* wave_seconds_ = nullptr;
 };
 
 }  // namespace shedmon::exec

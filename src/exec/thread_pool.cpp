@@ -1,8 +1,20 @@
 #include "src/exec/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace shedmon::exec {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+}  // namespace
+
+void ThreadPool::SetMetrics(const PoolMetricsHooks& hooks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hooks_ = hooks;
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
@@ -27,6 +39,9 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(fn));
+    if (hooks_.queue_depth != nullptr) {
+      hooks_.queue_depth->Add(1.0);
+    }
   }
   cv_.notify_one();
 }
@@ -34,6 +49,7 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> fn;
+    PoolMetricsHooks hooks;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -42,8 +58,21 @@ void ThreadPool::WorkerLoop() {
       }
       fn = std::move(queue_.front());
       queue_.pop_front();
+      hooks = hooks_;
+      if (hooks.queue_depth != nullptr) {
+        hooks.queue_depth->Add(-1.0);
+      }
     }
-    fn();
+    if (hooks.task_seconds != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      fn();
+      hooks.task_seconds->Observe(SecondsSince(start));
+    } else {
+      fn();
+    }
+    if (hooks.tasks_total != nullptr) {
+      hooks.tasks_total->Increment();
+    }
   }
 }
 

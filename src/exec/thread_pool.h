@@ -11,7 +11,20 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace shedmon::exec {
+
+// Optional observability hooks for a pool. Pointers are borrowed from an
+// obs::MetricsRegistry owned by whoever owns the pool; null members disable
+// the corresponding instrument. Updates go to lock-free striped cells and
+// never influence scheduling, so instrumented and bare pools execute tasks
+// identically.
+struct PoolMetricsHooks {
+  obs::Gauge* queue_depth = nullptr;       // tasks currently waiting in the queue
+  obs::Counter* tasks_total = nullptr;     // tasks a worker has executed
+  obs::Histogram* task_seconds = nullptr;  // per-task wall time, seconds
+};
 
 // Fixed-size worker pool for per-query and per-run fan-out. Tasks are plain
 // callables; Submit returns a std::future so callers can join on completion
@@ -38,6 +51,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return workers_.size(); }
+
+  // Installs (or clears) the metrics hooks. Guarded by the queue mutex so it
+  // may be called while workers are parked; call before submitting work —
+  // tasks already in flight may be counted under the old hooks.
+  void SetMetrics(const PoolMetricsHooks& hooks);
 
   // Enqueues `fn` and returns a future for its result. The future's
   // get()/wait() rethrows any exception the task raised.
@@ -75,6 +93,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  PoolMetricsHooks hooks_;  // guarded by mutex_
 };
 
 }  // namespace shedmon::exec

@@ -85,6 +85,12 @@ struct Packet {
   const FiveTuple& tuple() const { return rec->tuple; }
   uint64_t ts_us() const { return rec->ts_us; }
   uint16_t wire_len() const { return rec->wire_len; }
+
+  // Payload-less view over a bare record, for callers that hold PacketRecords
+  // and push them through Packet-based interfaces (the payload is then
+  // materialized deterministically from the record downstream). The view
+  // borrows `rec`; it must not outlive the record.
+  static Packet View(const PacketRecord& rec) { return Packet{&rec, nullptr, rec.payload_len}; }
 };
 
 // Dotted-quad helper for reports.

@@ -1,0 +1,97 @@
+#include "src/obs/log.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace shedmon::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+}  // namespace
+
+LogEvent::LogEvent(std::string_view event) {
+  line_ = "{\"event\":\"";
+  AppendEscaped(line_, event);
+  line_ += '"';
+}
+
+void LogEvent::AppendKey(std::string_view key) {
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  AppendKey(key);
+  line_ += '"';
+  AppendEscaped(line_, value);
+  line_ += '"';
+  return *this;
+}
+
+LogEvent& LogEvent::Num(std::string_view key, double value) {
+  AppendKey(key);
+  if (std::isfinite(value)) {
+    std::ostringstream text;
+    text << value;
+    line_ += text.str();
+  } else {
+    line_ += "null";  // JSON has no Inf/NaN literals
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Int(std::string_view key, uint64_t value) {
+  AppendKey(key);
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(std::string_view key, bool value) {
+  AppendKey(key);
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonlLogger::JsonlLogger(std::ostream& out) : out_(&out) {}
+
+JsonlLogger::JsonlLogger(const std::string& path)
+    : file_(path, std::ios::out | std::ios::trunc), out_(&file_) {
+  if (!file_.is_open()) {
+    throw std::runtime_error("JsonlLogger: cannot open '" + path + "' for writing");
+  }
+}
+
+void JsonlLogger::Write(const LogEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << event.line_ << "}\n";
+}
+
+void JsonlLogger::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+}  // namespace shedmon::obs

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace shedmon::obs {
+
+// One structured event as a JSON object under construction. Build with the
+// chainable field setters, then hand to JsonlLogger::Write. Keys must be
+// plain identifiers (they are emitted verbatim); values are escaped.
+class LogEvent {
+ public:
+  explicit LogEvent(std::string_view event);
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Num(std::string_view key, double value);
+  LogEvent& Int(std::string_view key, uint64_t value);
+  LogEvent& Bool(std::string_view key, bool value);
+
+ private:
+  friend class JsonlLogger;
+  void AppendKey(std::string_view key);
+
+  std::string line_;
+};
+
+// Structured JSONL event log, the observability twin of api::JsonlBinSink:
+// one JSON object per line, file-path constructor owns the stream and throws
+// std::runtime_error when it cannot be opened. Write is mutex-guarded so
+// events from a scrape helper thread interleave whole-line with the
+// coordinator's; the pipeline itself only logs from the coordinator.
+class JsonlLogger {
+ public:
+  explicit JsonlLogger(std::ostream& out);
+  explicit JsonlLogger(const std::string& path);
+
+  void Write(const LogEvent& event);
+  void Flush();
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+  std::mutex mutex_;
+};
+
+}  // namespace shedmon::obs

@@ -1,0 +1,132 @@
+#include "src/obs/prometheus.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace shedmon::obs {
+
+namespace {
+
+std::string_view TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void WriteEscapedLabelValue(std::ostream& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out << "\\\\";
+        break;
+      case '"':
+        out << "\\\"";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+// Labels including an optional extra pair (used for the histogram `le`).
+void WriteLabels(std::ostream& out, const LabelSet& labels, std::string_view extra_key,
+                 std::string_view extra_value) {
+  if (labels.empty() && extra_key.empty()) {
+    return;
+  }
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << key << "=\"";
+    WriteEscapedLabelValue(out, value);
+    out << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) {
+      out << ',';
+    }
+    out << extra_key << "=\"";
+    WriteEscapedLabelValue(out, extra_value);
+    out << '"';
+  }
+  out << '}';
+}
+
+void WriteNumber(std::ostream& out, double value) {
+  if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else if (std::isnan(value)) {
+    out << "NaN";
+  } else {
+    out << value;
+  }
+}
+
+std::string BoundLabel(double bound) {
+  std::ostringstream text;
+  WriteNumber(text, bound);
+  return text.str();
+}
+
+}  // namespace
+
+void PrometheusEncoder::Encode(const MetricsSnapshot& snapshot, std::ostream& out) {
+  std::string_view current_family;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name != current_family) {
+      current_family = sample.name;
+      if (!sample.help.empty()) {
+        out << "# HELP " << sample.name << ' ' << sample.help << '\n';
+      }
+      out << "# TYPE " << sample.name << ' ' << TypeName(sample.type) << '\n';
+    }
+    if (sample.type == MetricType::kHistogram) {
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < sample.histogram.counts.size(); ++b) {
+        cumulative += sample.histogram.counts[b];
+        const double bound = b < sample.histogram.bounds.size()
+                                 ? sample.histogram.bounds[b]
+                                 : std::numeric_limits<double>::infinity();
+        out << sample.name << "_bucket";
+        WriteLabels(out, sample.labels, "le", BoundLabel(bound));
+        out << ' ' << cumulative << '\n';
+      }
+      out << sample.name << "_sum";
+      WriteLabels(out, sample.labels, {}, {});
+      out << ' ';
+      WriteNumber(out, sample.histogram.sum);
+      out << '\n';
+      out << sample.name << "_count";
+      WriteLabels(out, sample.labels, {}, {});
+      out << ' ' << sample.histogram.count << '\n';
+    } else {
+      out << sample.name;
+      WriteLabels(out, sample.labels, {}, {});
+      out << ' ';
+      WriteNumber(out, sample.value);
+      out << '\n';
+    }
+  }
+}
+
+std::string PrometheusEncoder::Encode(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  Encode(snapshot, out);
+  return out.str();
+}
+
+}  // namespace shedmon::obs

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace shedmon::obs {
+
+// Prometheus text exposition format (version 0.0.4) over a MetricsSnapshot:
+// one `# HELP` / `# TYPE` header per family, `_bucket{le=...}` / `_sum` /
+// `_count` expansion for histograms, label values escaped per the spec.
+class PrometheusEncoder {
+ public:
+  static void Encode(const MetricsSnapshot& snapshot, std::ostream& out);
+  static std::string Encode(const MetricsSnapshot& snapshot);
+};
+
+}  // namespace shedmon::obs

@@ -1,0 +1,132 @@
+#include "src/obs/snapshot.h"
+
+#include <bit>
+#include <cstring>
+
+namespace shedmon::obs {
+
+namespace {
+// Strings in a snapshot are query names and format tags; anything longer
+// than this means the stream is corrupt, not that a name is long.
+constexpr uint64_t kMaxStringLen = 1 << 20;
+}  // namespace
+
+void SnapshotWriter::Bytes(const void* data, size_t len) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  if (!out_) {
+    throw SnapshotError("snapshot: write failed");
+  }
+}
+
+void SnapshotWriter::Magic() {
+  Bytes(kSnapshotMagic.data(), kSnapshotMagic.size());
+  U32(kSnapshotVersion);
+}
+
+void SnapshotWriter::U8(uint8_t v) { Bytes(&v, 1); }
+
+void SnapshotWriter::U32(uint32_t v) {
+  uint8_t b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  Bytes(b, sizeof(b));
+}
+
+void SnapshotWriter::U64(uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  Bytes(b, sizeof(b));
+}
+
+void SnapshotWriter::I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+void SnapshotWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void SnapshotWriter::Str(std::string_view v) {
+  U64(v.size());
+  if (!v.empty()) {
+    Bytes(v.data(), v.size());
+  }
+}
+
+void SnapshotWriter::RngState(const std::array<uint64_t, 4>& s) {
+  for (const uint64_t word : s) {
+    U64(word);
+  }
+}
+
+void SnapshotReader::Bytes(void* data, size_t len) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+  if (static_cast<size_t>(in_.gcount()) != len) {
+    throw SnapshotError("snapshot: truncated stream");
+  }
+}
+
+void SnapshotReader::Magic() {
+  char magic[8];
+  Bytes(magic, sizeof(magic));
+  if (std::string_view(magic, sizeof(magic)) != kSnapshotMagic) {
+    throw SnapshotError("snapshot: bad magic (not a shedmon snapshot)");
+  }
+  const uint32_t version = U32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot: unsupported version " + std::to_string(version) +
+                        " (expected " + std::to_string(kSnapshotVersion) + ")");
+  }
+}
+
+uint8_t SnapshotReader::U8() {
+  uint8_t v = 0;
+  Bytes(&v, 1);
+  return v;
+}
+
+uint32_t SnapshotReader::U32() {
+  uint8_t b[4];
+  Bytes(b, sizeof(b));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t SnapshotReader::U64() {
+  uint8_t b[8];
+  Bytes(b, sizeof(b));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  }
+  return v;
+}
+
+int64_t SnapshotReader::I64() { return static_cast<int64_t>(U64()); }
+
+double SnapshotReader::F64() { return std::bit_cast<double>(U64()); }
+
+std::string SnapshotReader::Str() {
+  const uint64_t len = U64();
+  if (len > kMaxStringLen) {
+    throw SnapshotError("snapshot: string length " + std::to_string(len) +
+                        " exceeds sanity bound");
+  }
+  std::string v(len, '\0');
+  if (len > 0) {
+    Bytes(v.data(), len);
+  }
+  return v;
+}
+
+std::array<uint64_t, 4> SnapshotReader::RngState() {
+  std::array<uint64_t, 4> s{};
+  for (uint64_t& word : s) {
+    word = U64();
+  }
+  return s;
+}
+
+}  // namespace shedmon::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace shedmon::obs {
+
+// Errors from writing, reading or validating a pipeline snapshot: bad magic,
+// version mismatch, truncated stream, or a pipeline state that cannot be
+// snapshotted (mid-interval, custom queries, custom oracle).
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::string_view kSnapshotMagic = "SHEDSNAP";
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// Little-endian binary primitives for the versioned snapshot format. The
+// encoding is explicitly byte-ordered (not memcpy-of-struct) so snapshots
+// written on one machine restore on any other, and doubles round-trip
+// bit-exactly via their IEEE-754 payload — the foundation of the
+// snapshot -> restore -> snapshot byte-identity guarantee.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::ostream& out) : out_(out) {}
+
+  void Magic();  // magic + version header
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v);
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(std::string_view v);
+  void RngState(const std::array<uint64_t, 4>& s);
+
+ private:
+  void Bytes(const void* data, size_t len);
+
+  std::ostream& out_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream& in) : in_(in) {}
+
+  // Validates magic + version; throws SnapshotError on mismatch.
+  void Magic();
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64();
+  double F64();
+  bool Bool() { return U8() != 0; }
+  std::string Str();
+  std::array<uint64_t, 4> RngState();
+
+ private:
+  void Bytes(void* data, size_t len);
+
+  std::istream& in_;
+};
+
+}  // namespace shedmon::obs

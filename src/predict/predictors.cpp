@@ -180,6 +180,99 @@ void MlrPredictor::AmendLastObservation(double cycles) {
   Refit();
 }
 
+namespace {
+
+// Every predictor opens its state section with a name tag so a stream saved
+// by one kind can never be silently misread by another.
+void CheckTag(obs::SnapshotReader& r, std::string_view expected) {
+  const std::string tag = r.Str();
+  if (tag != expected) {
+    throw obs::SnapshotError("predictor state tagged '" + tag + "', expected '" +
+                             std::string(expected) + "'");
+  }
+}
+
+}  // namespace
+
+void EwmaPredictor::SaveState(obs::SnapshotWriter& w) const {
+  w.Str(name());
+  w.F64(value_);
+  w.Bool(seeded_);
+  w.U64(count_);
+}
+
+void EwmaPredictor::LoadState(obs::SnapshotReader& r) {
+  CheckTag(r, name());
+  value_ = r.F64();
+  seeded_ = r.Bool();
+  count_ = static_cast<size_t>(r.U64());
+}
+
+void SlrPredictor::SaveState(obs::SnapshotWriter& w) const {
+  w.Str(name());
+  w.U64(window_.size());
+  for (const auto& [x, y] : window_) {
+    w.F64(x);
+    w.F64(y);
+  }
+}
+
+void SlrPredictor::LoadState(obs::SnapshotReader& r) {
+  CheckTag(r, name());
+  window_.clear();
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = r.F64();
+    const double y = r.F64();
+    window_.emplace_back(x, y);
+  }
+}
+
+void MlrPredictor::SaveState(obs::SnapshotWriter& w) const {
+  w.Str(name());
+  w.U64(window_.size());
+  for (const auto& [f, cycles] : window_) {
+    for (const double v : f) {
+      w.F64(v);
+    }
+    w.F64(cycles);
+  }
+  w.I64(consecutive_outliers_);
+  w.U64(selection_counts_.size());
+  for (const auto& [feature, count] : selection_counts_) {
+    w.I64(feature);
+    w.U64(count);
+  }
+}
+
+void MlrPredictor::LoadState(obs::SnapshotReader& r) {
+  CheckTag(r, name());
+  window_.clear();
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    features::FeatureVector f{};
+    for (double& v : f) {
+      v = r.F64();
+    }
+    const double cycles = r.F64();
+    window_.emplace_back(f, cycles);
+  }
+  const int64_t outliers = r.I64();
+  // The fit is a pure function of the window; recompute it instead of
+  // serializing coefficients so the model can never disagree with its own
+  // history. Refit() increments selection_counts_, so the saved counts are
+  // reinstated afterwards to keep save -> load -> save byte-identical.
+  Refit();
+  consecutive_outliers_ = static_cast<int>(outliers);
+  selection_counts_.clear();
+  const uint64_t counts = r.U64();
+  for (uint64_t i = 0; i < counts; ++i) {
+    const int64_t feature = r.I64();
+    const uint64_t count = r.U64();
+    selection_counts_[static_cast<int>(feature)] = static_cast<size_t>(count);
+  }
+}
+
 std::unique_ptr<CostPredictor> MakePredictor(const PredictorConfig& config) {
   switch (config.kind) {
     case PredictorKind::kEwma:

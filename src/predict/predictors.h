@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/features/features.h"
+#include "src/obs/snapshot.h"
 #include "src/predict/fcbf.h"
 
 namespace shedmon::predict {
@@ -23,6 +24,15 @@ class CostPredictor {
   virtual std::string_view name() const = 0;
   // Number of observations currently backing the model (0 = cold).
   virtual size_t history_size() const = 0;
+
+  // Snapshot/restore of the learned state. Each implementation writes a
+  // name tag first and LoadState verifies it, so restoring into the wrong
+  // predictor kind fails loudly instead of misreading the stream. The
+  // contract is behavioral identity: after LoadState, Predict/Observe emit
+  // exactly the sequence the saved instance would have, and a second
+  // SaveState produces byte-identical output (round-trip identity).
+  virtual void SaveState(obs::SnapshotWriter& w) const = 0;
+  virtual void LoadState(obs::SnapshotReader& r) = 0;
 };
 
 // §3.4.1: exponentially weighted moving average of past cycle usage. Blind to
@@ -35,6 +45,8 @@ class EwmaPredictor : public CostPredictor {
   void Observe(const features::FeatureVector& f, double cycles) override;
   std::string_view name() const override { return "ewma"; }
   size_t history_size() const override { return count_; }
+  void SaveState(obs::SnapshotWriter& w) const override;
+  void LoadState(obs::SnapshotReader& r) override;
 
  private:
   double alpha_;
@@ -53,6 +65,8 @@ class SlrPredictor : public CostPredictor {
   void Observe(const features::FeatureVector& f, double cycles) override;
   std::string_view name() const override { return "slr"; }
   size_t history_size() const override { return window_.size(); }
+  void SaveState(obs::SnapshotWriter& w) const override;
+  void LoadState(obs::SnapshotReader& r) override;
 
  private:
   int feature_;
@@ -96,6 +110,13 @@ class MlrPredictor : public CostPredictor {
   // Replaces the most recent observation's response value; the system uses
   // this to scrub context-switch-corrupted measurements (§3.2.4).
   void AmendLastObservation(double cycles);
+
+  // Saves the observation window plus scrub/selection bookkeeping; the fit
+  // itself (coefficients, selected features) is recomputed deterministically
+  // from the window on load, then the selection counts are reinstated so the
+  // refit's own increments don't inflate them past the saved run's.
+  void SaveState(obs::SnapshotWriter& w) const override;
+  void LoadState(obs::SnapshotReader& r) override;
 
  private:
   void Refit();

@@ -39,4 +39,21 @@ void EnforcementPolicy::Tick() {
   }
 }
 
+EnforcementPolicy::State EnforcementPolicy::GetState() const {
+  State state;
+  state.usage_ratio = usage_ratio_.value();
+  state.usage_ratio_seeded = usage_ratio_.seeded();
+  state.strikes = strikes_;
+  state.penalty_left = penalty_left_;
+  state.times_policed = times_policed_;
+  return state;
+}
+
+void EnforcementPolicy::SetState(const State& state) {
+  usage_ratio_.Restore(state.usage_ratio, state.usage_ratio_seeded);
+  strikes_ = state.strikes;
+  penalty_left_ = state.penalty_left;
+  times_policed_ = static_cast<size_t>(state.times_policed);
+}
+
 }  // namespace shedmon::shed

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "src/util/ewma.h"
 
@@ -46,6 +47,18 @@ class EnforcementPolicy {
 
   int strikes() const { return strikes_; }
   size_t times_policed() const { return times_policed_; }
+
+  // Snapshot/restore of the mutable policy state (the config travels
+  // separately, with the rest of the SystemConfig).
+  struct State {
+    double usage_ratio = 1.0;
+    bool usage_ratio_seeded = true;
+    int strikes = 0;
+    int penalty_left = 0;
+    uint64_t times_policed = 0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
 
  private:
   EnforcementConfig config_;

@@ -39,10 +39,11 @@ trace::PacketVec PacketSampler::Sample(const trace::PacketVec& in, double rate) 
 }
 
 FlowSampler::FlowSampler(uint64_t seed)
-    : hash_(13, {{seed, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}}) {}
+    : hash_(13, {{seed, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}}), seed_(seed) {}
 
 void FlowSampler::Reseed(uint64_t seed) {
   hash_ = sketch::FusedTupleHasher(13, {{seed, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}});
+  seed_ = seed;
 }
 
 void FlowSampler::SampleInto(const trace::PacketVec& in, double rate,

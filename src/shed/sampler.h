@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "src/sketch/fused_hash.h"
@@ -30,6 +31,11 @@ class PacketSampler {
   // Copying convenience API; allocates a fresh vector per call.
   trace::PacketVec Sample(const trace::PacketVec& in, double rate);
 
+  // Snapshot/restore of the RNG position, so a restored sampler continues
+  // the exact selection sequence of the saved one.
+  std::array<uint64_t, 4> RngState() const { return rng_.State(); }
+  void SetRngState(const std::array<uint64_t, 4>& s) { rng_.SetState(s); }
+
  private:
   util::Rng rng_;
 };
@@ -45,6 +51,9 @@ class FlowSampler {
   explicit FlowSampler(uint64_t seed);
 
   void Reseed(uint64_t seed);
+  // The seed behind the current hash function; selection is a pure function
+  // of it, so Reseed(seed()) on another instance clones the sampler.
+  uint64_t seed() const { return seed_; }
 
   // In-place API; see PacketSampler::SampleInto. Selection is a pure
   // function of (seed, tuple, rate), so both APIs always agree.
@@ -54,6 +63,7 @@ class FlowSampler {
 
  private:
   sketch::FusedTupleHasher hash_;
+  uint64_t seed_;
 };
 
 }  // namespace shedmon::shed

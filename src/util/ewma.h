@@ -28,6 +28,13 @@ class Ewma {
     seeded_ = false;
   }
 
+  // Snapshot/restore: reinstates a saved (value, seeded) pair so the smoother
+  // continues exactly where the saved instance stopped.
+  void Restore(double value, bool seeded) {
+    value_ = value;
+    seeded_ = seeded;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

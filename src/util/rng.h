@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -28,6 +29,15 @@ class Rng {
   double NextBoundedPareto(double lo, double hi, double alpha);
   // Standard normal via Box-Muller.
   double NextGaussian();
+
+  // Raw xoshiro256** state, for snapshot/restore: SetState(State()) on a
+  // second instance makes it emit the exact same sequence from here on.
+  std::array<uint64_t, 4> State() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void SetState(const std::array<uint64_t, 4>& s) {
+    for (size_t i = 0; i < 4; ++i) {
+      s_[i] = s[i];
+    }
+  }
 
  private:
   uint64_t s_[4];

@@ -353,6 +353,12 @@ TEST_P(ParallelEquivalence, BinLogsAndAccuraciesBitIdenticalToSerial) {
   core::RunSpec spec = EquivalenceSpec(c);
   spec.system.num_threads = threads;
   spec.system.max_shards_per_query = shards;
+  if (threads == 0 && shards > 1) {
+    // Shards without a worker pool used to be silently inert; the eager
+    // builder validation now rejects the combination outright.
+    EXPECT_THROW(RunSystemOnTrace(spec, EquivalenceTrace()), shedmon::ConfigError);
+    return;
+  }
   const auto& serial = SerialBaseline(c);
   const auto parallel = RunSystemOnTrace(spec, EquivalenceTrace());
 
@@ -370,9 +376,9 @@ TEST_P(ParallelEquivalence, BinLogsAndAccuraciesBitIdenticalToSerial) {
   }
 }
 
-// threads 0 (inline) x shards > 1 proves sharding config is inert without a
-// pool; threads > 0 x shards {2, 8} exercises real (query, shard) fan-out,
-// including shard counts past the pool width.
+// threads 0 (inline) x shards > 1 proves the builder rejects sharding
+// without a pool; threads > 0 x shards {2, 8} exercises real (query, shard)
+// fan-out, including shard counts past the pool width.
 INSTANTIATE_TEST_SUITE_P(
     ShedderByThreadsAndShards, ParallelEquivalence,
     ::testing::Combine(

@@ -1,0 +1,282 @@
+// src/obs/ unit tests: instrument semantics (striped counters, gauges,
+// fixed-bucket histograms), the get-or-create registry contract, Prometheus
+// exposition (cumulative buckets, +Inf, label escaping), the JSONL event
+// log, and the snapshot primitives' byte-exact round-trip.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/prometheus.h"
+#include "src/obs/snapshot.h"
+
+namespace shedmon::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+TEST(Counter, SumsStripesExactly) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0.0);
+  counter.Increment();
+  counter.Add(2.5);
+  EXPECT_EQ(counter.Value(), 3.5);
+}
+
+TEST(Counter, ConcurrentAddsLoseNothing) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        counter.Add(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(), static_cast<double>(kThreads * kAddsPerThread));
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(4.0);
+  EXPECT_EQ(gauge.Value(), 4.0);
+  gauge.Add(-1.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Set(0.0);
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+TEST(Histogram, BucketsByUpperEdgeWithImplicitInf) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (le 1)
+  histogram.Observe(1.0);    // bucket 0: edges are inclusive upper bounds
+  histogram.Observe(5.0);    // bucket 1 (le 10)
+  histogram.Observe(1000.0); // +Inf tail
+  const Histogram::Data data = histogram.Read();
+  ASSERT_EQ(data.counts.size(), 4u);  // three bounds + Inf
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 1u);
+  EXPECT_EQ(data.counts[2], 0u);
+  EXPECT_EQ(data.counts[3], 1u);
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_EQ(data.sum, 0.5 + 1.0 + 5.0 + 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests_total", {}, "help");
+  Counter& b = registry.GetCounter("requests_total");
+  EXPECT_EQ(&a, &b);
+  // Different labels are a different series of the same family.
+  Counter& c = registry.GetCounter("requests_total", {{"code", "500"}});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("x_total");
+  EXPECT_THROW(registry.GetGauge("x_total"), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("x_total", {1.0}), std::logic_error);
+  registry.GetHistogram("latency", {0.1, 1.0});
+  EXPECT_THROW(registry.GetCounter("latency"), std::logic_error);
+}
+
+TEST(Registry, HistogramBoundsFixedByFirstRegistration) {
+  MetricsRegistry registry;
+  Histogram& first = registry.GetHistogram("latency", {0.1, 1.0});
+  Histogram& again = registry.GetHistogram("latency", {5.0, 50.0, 500.0});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{0.1, 1.0}));
+}
+
+TEST(Registry, SnapshotIsSortedByFamilyAndStableWithinIt) {
+  MetricsRegistry registry;
+  registry.GetGauge("zz_gauge").Set(1.0);
+  registry.GetCounter("aa_total", {{"q", "b"}}).Add(2.0);
+  registry.GetCounter("aa_total", {{"q", "a"}}).Add(3.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 3u);
+  EXPECT_EQ(snapshot.samples[0].name, "aa_total");
+  EXPECT_EQ(snapshot.samples[0].labels.at("q"), "b");  // registration order
+  EXPECT_EQ(snapshot.samples[1].labels.at("q"), "a");
+  EXPECT_EQ(snapshot.samples[2].name, "zz_gauge");
+  EXPECT_EQ(snapshot.samples[2].value, 1.0);
+}
+
+// The smoke test behind the "scrape under load" CI leg: writers on several
+// threads, a scraper snapshotting concurrently, and an exact final value.
+TEST(Registry, ScrapeUnderLoadIsSafeAndConverges) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("events_total");
+  Histogram& histogram = registry.GetHistogram("value", {0.5});
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snapshot = registry.Snapshot();
+      for (const MetricSample& sample : snapshot.samples) {
+        EXPECT_GE(sample.value, 0.0);
+        EXPECT_LE(sample.histogram.count, 4u * 10'000u);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        counter.Increment();
+        histogram.Observe(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(counter.Value(), 40'000.0);
+  const Histogram::Data data = histogram.Read();
+  EXPECT_EQ(data.count, 40'000u);
+  EXPECT_EQ(data.counts[0], 20'000u);
+  EXPECT_EQ(data.counts[1], 20'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(Prometheus, EncodesCountersAndGaugesWithTypeAndHelp) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", {}, "Requests seen").Add(7.0);
+  registry.GetGauge("queue_depth").Set(3.0);
+  const std::string text = PrometheusEncoder::Encode(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP requests_total Requests seen\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("latency_seconds", {0.1, 1.0});
+  histogram.Observe(0.05);
+  histogram.Observe(0.5);
+  histogram.Observe(2.0);
+  const std::string text = PrometheusEncoder::Encode(registry.Snapshot());
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"0.1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum 2.55\n"), std::string::npos);
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("odd_total", {{"q", "a\"b\\c\nd"}}).Increment();
+  const std::string text = PrometheusEncoder::Encode(registry.Snapshot());
+  EXPECT_NE(text.find("odd_total{q=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Structured JSONL event log
+// ---------------------------------------------------------------------------
+
+TEST(JsonlLog, WritesOneEscapedObjectPerLine) {
+  std::ostringstream out;
+  JsonlLogger logger(out);
+  logger.Write(LogEvent("query_added")
+                   .Str("query", "says \"hi\"\n")
+                   .Int("bin", 12)
+                   .Num("rate", 0.25)
+                   .Bool("custom", true));
+  logger.Write(LogEvent("finish"));
+  logger.Flush();
+  EXPECT_EQ(out.str(),
+            "{\"event\":\"query_added\",\"query\":\"says \\\"hi\\\"\\n\","
+            "\"bin\":12,\"rate\":0.25,\"custom\":true}\n"
+            "{\"event\":\"finish\"}\n");
+}
+
+TEST(JsonlLog, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonlLogger logger(out);
+  logger.Write(LogEvent("e").Num("x", std::nan("")).Num("y", HUGE_VAL));
+  EXPECT_EQ(out.str(), "{\"event\":\"e\",\"x\":null,\"y\":null}\n");
+}
+
+TEST(JsonlLog, FilePathConstructorThrowsWhenUnwritable) {
+  EXPECT_THROW(JsonlLogger("/nonexistent-dir/events.jsonl"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot primitives
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, PrimitivesRoundTripByteExactly) {
+  std::stringstream stream;
+  SnapshotWriter writer(stream);
+  writer.Magic();
+  writer.U8(0xAB);
+  writer.U32(0xDEADBEEF);
+  writer.U64(0x0123456789ABCDEFULL);
+  writer.I64(-42);
+  writer.F64(0.1);  // not representable exactly: must round-trip bit-exactly
+  writer.F64(-0.0);
+  writer.Bool(true);
+  writer.Str("shedmon\n\"snapshot\"");
+  const std::array<uint64_t, 4> rng = {1, 2, 3, 0xFFFFFFFFFFFFFFFFULL};
+  writer.RngState(rng);
+
+  SnapshotReader reader(stream);
+  reader.Magic();
+  EXPECT_EQ(reader.U8(), 0xAB);
+  EXPECT_EQ(reader.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.U64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.I64(), -42);
+  const double f = reader.F64();
+  EXPECT_EQ(f, 0.1);
+  EXPECT_TRUE(std::signbit(reader.F64()));
+  EXPECT_TRUE(reader.Bool());
+  EXPECT_EQ(reader.Str(), "shedmon\n\"snapshot\"");
+  EXPECT_EQ(reader.RngState(), rng);
+}
+
+TEST(Snapshot, BadMagicAndTruncationThrow) {
+  {
+    std::istringstream garbage("NOTASNAPxxxx");
+    SnapshotReader reader(garbage);
+    EXPECT_THROW(reader.Magic(), SnapshotError);
+  }
+  {
+    std::stringstream stream;
+    SnapshotWriter writer(stream);
+    writer.Magic();
+    writer.U32(7);
+    std::istringstream truncated(stream.str().substr(0, stream.str().size() - 2));
+    SnapshotReader reader(truncated);
+    reader.Magic();
+    EXPECT_THROW(reader.U32(), SnapshotError);
+  }
+}
+
+}  // namespace
+}  // namespace shedmon::obs

@@ -12,14 +12,18 @@
 
 #include <cstdio>
 #include <cstring>
+#include <csignal>
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/api/config.h"
 #include "src/api/pipeline.h"
 #include "src/api/sinks.h"
+#include "src/obs/prometheus.h"
 #include "src/core/runner.h"
 #include "src/query/queries.h"
 #include "src/trace/anomaly.h"
@@ -128,7 +132,15 @@ int Usage() {
       "              [--shedder predictive|reactive|none] [--custom]\n"
       "              [--oracle model|measured] [--bin-us N] [--threads N]\n"
       "              [--shards N] [--csv FILE] [--jsonl FILE]\n"
-      "  queries     (list available queries and their default min rates)\n");
+      "              [--config FILE] [--metrics-out FILE]\n"
+      "  queries     (list available queries and their default min rates)\n"
+      "\n"
+      "run flags:\n"
+      "  --config FILE       load an INI pipeline config (system knobs, query\n"
+      "                      roster, sinks); other flags override the file\n"
+      "  --metrics-out FILE  dump the metrics registry in Prometheus text\n"
+      "                      format at end of run, and whenever the process\n"
+      "                      receives SIGUSR1 mid-run\n");
   return 2;
 }
 
@@ -228,86 +240,155 @@ int CmdInjectDdos(const Flags& flags) {
   return 0;
 }
 
+// SIGUSR1 asks the run loop for a mid-run metrics dump; the handler only
+// flips this flag, the dump itself happens between Push calls.
+volatile std::sig_atomic_t g_metrics_dump_requested = 0;
+
+void RequestMetricsDump(int) { g_metrics_dump_requested = 1; }
+
+void DumpMetrics(const Pipeline& pipeline, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "run: cannot write metrics to %s\n", path.c_str());
+    return;
+  }
+  obs::PrometheusEncoder::Encode(pipeline.Metrics().Snapshot(), out);
+}
+
 int CmdRun(const Flags& flags) {
   if (flags.positional().empty()) {
     std::fprintf(stderr, "run: trace file required\n");
     return 2;
   }
   const trace::Trace t = trace::LoadTrace(flags.positional()[0]);
-  const std::vector<std::string> queries =
-      SplitCsv(flags.Get("queries", "counter,flows,application"));
 
-  const uint64_t bin_us = flags.GetU64("bin-us", 100'000);
-  const std::string shedder = flags.Get("shedder", "predictive");
-  const std::string strategy = flags.Get("strategy", "pkt");
-  const core::OracleKind oracle = flags.Get("oracle", "model") == "measured"
-                                      ? core::OracleKind::kMeasured
-                                      : core::OracleKind::kModel;
-
-  const double k = flags.GetDouble("k", 0.5);
-  const double demand = core::MeasureMeanDemand(queries, t, oracle, bin_us);
-  const double capacity = std::max(1.0, demand * (1.0 - k));
-
-  auto pipeline =
-      PipelineBuilder()
-          .TimeBin(bin_us)
-          .Shedder(shedder == "reactive" ? core::ShedderKind::kReactive
-                   : shedder == "none"   ? core::ShedderKind::kNoShed
-                                         : core::ShedderKind::kPredictive)
-          .Strategy(strategy == "eq"    ? shed::StrategyKind::kEqSrates
-                    : strategy == "cpu" ? shed::StrategyKind::kMmfsCpu
-                                        : shed::StrategyKind::kMmfsPkt)
-          .CustomShedding(flags.Has("custom"))
-          .Oracle(oracle)
-          .CyclesPerBin(capacity)
-          .Threads(flags.GetU64("threads", 0))
-          // Intra-query sharding: split one query's bin batch across the
-          // worker pool (only effective with --threads > 0); results are
-          // bit-identical at any shard count.
-          .MaxShardsPerQuery(flags.GetU64("shards", 1))
-          .Build();
-  std::vector<QueryHandle> handles;
-  for (const auto& name : queries) {
-    handles.push_back(pipeline.AddQuery(name));
+  // --config loads the INI file as the baseline; every other flag still
+  // overrides it. Without --config the flag defaults apply as before.
+  const bool have_config = flags.Has("config");
+  api::FileConfig file_config;
+  if (have_config) {
+    file_config = api::ParseConfigFile(flags.Get("config"));
   }
+  // "Set this knob" = the flag was passed, or there is no config file to
+  // defer to (then the CLI defaults fill in).
+  const auto overrides = [&](const char* key) { return !have_config || flags.Has(key); };
+
+  if (flags.Has("queries") || file_config.queries.empty()) {
+    file_config.queries = SplitCsv(flags.Get("queries", "counter,flows,application"));
+  }
+  const std::vector<std::string>& queries = file_config.queries;
+  if (overrides("oracle")) {
+    file_config.oracle = flags.Get("oracle", "model") == "measured"
+                             ? core::OracleKind::kMeasured
+                             : core::OracleKind::kModel;
+  }
+  const core::OracleKind oracle = file_config.oracle;
+
+  PipelineBuilder builder = PipelineBuilder::FromConfig(file_config);
+  if (overrides("bin-us")) {
+    builder.TimeBin(flags.GetU64("bin-us", 100'000));
+  }
+  if (overrides("shedder")) {
+    const std::string shedder = flags.Get("shedder", "predictive");
+    builder.Shedder(shedder == "reactive" ? core::ShedderKind::kReactive
+                    : shedder == "none"   ? core::ShedderKind::kNoShed
+                                          : core::ShedderKind::kPredictive);
+  }
+  if (overrides("strategy")) {
+    const std::string strategy = flags.Get("strategy", "pkt");
+    builder.Strategy(strategy == "eq"    ? shed::StrategyKind::kEqSrates
+                     : strategy == "cpu" ? shed::StrategyKind::kMmfsCpu
+                                         : shed::StrategyKind::kMmfsPkt);
+  }
+  if (flags.Has("custom") || !have_config) {
+    builder.CustomShedding(flags.Has("custom"));
+  }
+  if (overrides("threads")) {
+    builder.Threads(flags.GetU64("threads", 0));
+  }
+  if (overrides("shards")) {
+    // Intra-query sharding: split one query's bin batch across the worker
+    // pool (only effective with --threads > 0); results are bit-identical at
+    // any shard count.
+    builder.MaxShardsPerQuery(flags.GetU64("shards", 1));
+  }
+
+  // Capacity: --k provisions a fraction of the measured demand. A config
+  // file's explicit cycles_per_bin wins unless --k is passed.
+  const double k = flags.GetDouble("k", 0.5);
+  double capacity = builder.config().cycles_per_bin;
+  if (overrides("k") || capacity <= 0.0) {
+    const double demand =
+        core::MeasureMeanDemand(queries, t, oracle, builder.config().time_bin_us);
+    capacity = std::max(1.0, demand * (1.0 - k));
+    builder.CyclesPerBin(capacity);
+  }
+
+  auto pipeline = builder.BuildUnique();
   if (flags.Has("csv")) {
-    pipeline.AddObserver(std::make_unique<CsvBinSink>(flags.Get("csv")));
+    pipeline->AddObserver(std::make_unique<CsvBinSink>(flags.Get("csv")));
   }
   if (flags.Has("jsonl")) {
-    pipeline.AddObserver(std::make_unique<JsonlBinSink>(flags.Get("jsonl")));
+    pipeline->AddObserver(std::make_unique<JsonlBinSink>(flags.Get("jsonl")));
+  }
+
+  const std::string metrics_out = flags.Get("metrics-out");
+  if (!metrics_out.empty()) {
+    struct sigaction action = {};
+    action.sa_handler = RequestMetricsDump;
+    sigaction(SIGUSR1, &action, nullptr);
   }
 
   std::printf("running %zu queries at overload K=%.2f (capacity %.3g cycles/bin, %s)\n\n",
               queries.size(), k, capacity,
               oracle == core::OracleKind::kMeasured ? "measured cycles" : "model cycles");
-  pipeline.Push(t);
-  pipeline.Finish();
+  for (const net::PacketRecord& packet : t.packets) {
+    if (g_metrics_dump_requested != 0 && !metrics_out.empty()) {
+      g_metrics_dump_requested = 0;
+      DumpMetrics(*pipeline, metrics_out);
+      std::fprintf(stderr, "run: metrics dumped to %s (SIGUSR1)\n", metrics_out.c_str());
+    }
+    pipeline->Push(net::Packet::View(packet));
+  }
+  pipeline->Finish();
+  if (!metrics_out.empty()) {
+    DumpMetrics(*pipeline, metrics_out);
+  }
 
   util::Table table({"query", "min rate", "mean srate", "accuracy error"});
-  for (const QueryHandle& handle : handles) {
+  for (size_t q = 0; q < pipeline->num_queries(); ++q) {
+    const std::string& name = pipeline->system().query(q).name();
     util::RunningStats rate;
-    for (const auto& bin : pipeline.log()) {
-      if (handle.index() < bin.rate.size()) {
-        rate.Add(bin.rate[handle.index()]);
+    for (const auto& bin : pipeline->log()) {
+      if (q < bin.rate.size()) {
+        rate.Add(bin.rate[q]);
       }
     }
-    const auto acc = handle.Accuracy();
-    table.AddRow({handle.name(), util::Fmt(core::DefaultMinRate(handle.name()), 2),
-                  util::Fmt(rate.mean(), 2),
-                  util::FmtPercent(acc.mean_error, 2) + " ±" +
-                      util::Fmt(acc.stdev_error * 100.0, 2)});
+    std::string accuracy = "-";
+    try {
+      const auto acc = pipeline->AccuracyAt(q);
+      accuracy = util::FmtPercent(acc.mean_error, 2) + " ±" +
+                 util::Fmt(acc.stdev_error * 100.0, 2);
+    } catch (const std::logic_error&) {
+      // No reference tracked (config file with track_accuracy = false).
+    }
+    table.AddRow({name, util::Fmt(core::DefaultMinRate(name), 2), util::Fmt(rate.mean(), 2),
+                  accuracy});
   }
   table.Print(std::cout);
   std::printf("\npackets: %llu in, %llu uncontrolled drops (%.2f%%)\n",
-              static_cast<unsigned long long>(pipeline.total_packets()),
-              static_cast<unsigned long long>(pipeline.total_dropped()),
-              100.0 * static_cast<double>(pipeline.total_dropped()) /
-                  std::max<double>(1.0, static_cast<double>(pipeline.total_packets())));
+              static_cast<unsigned long long>(pipeline->total_packets()),
+              static_cast<unsigned long long>(pipeline->total_dropped()),
+              100.0 * static_cast<double>(pipeline->total_dropped()) /
+                  std::max<double>(1.0, static_cast<double>(pipeline->total_packets())));
   if (flags.Has("csv")) {
     std::printf("per-bin log written to %s\n", flags.Get("csv").c_str());
   }
   if (flags.Has("jsonl")) {
     std::printf("per-bin log written to %s\n", flags.Get("jsonl").c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::printf("metrics (Prometheus text format) written to %s\n", metrics_out.c_str());
   }
   return 0;
 }
