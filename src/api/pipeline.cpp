@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "src/api/sinks.h"
 #include "src/core/runner.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/snapshot.h"
 #include "src/query/queries.h"
+#include "src/rt/atomic_file.h"
 
 namespace shedmon::api {
 
@@ -156,6 +159,91 @@ PipelineBuilder& PipelineBuilder::LogTo(std::string path) {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::Deadline(double budget_fraction) {
+  rt::GovernorConfig config;
+  config.budget_fraction = budget_fraction;
+  return Deadline(config);
+}
+
+PipelineBuilder& PipelineBuilder::Deadline(const rt::GovernorConfig& config) {
+  deadline_enabled_ = config.budget_fraction > 0.0;
+  governor_config_ = config;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::RtClock(std::shared_ptr<rt::Clock> clock) {
+  clock_ = std::move(clock);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::IngestCap(size_t max_records, rt::OverflowPolicy policy) {
+  ingest_cap_ = max_records;
+  ingest_policy_ = policy;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::InjectFaults(const rt::FaultPlan& plan) {
+  has_fault_plan_ = true;
+  fault_plan_ = plan;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::CheckpointTo(std::string path) {
+  checkpoint_path_ = std::move(path);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::CheckpointEvery(size_t bins) {
+  checkpoint_every_ = bins;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::SinkRetry(const rt::RetryPolicy& policy) {
+  has_sink_retry_ = true;
+  sink_retry_ = policy;
+  return *this;
+}
+
+void PipelineBuilder::ApplyRtOptions(Pipeline& pipeline) const {
+  if (clock_ != nullptr) {
+    pipeline.clock_ = clock_;
+  }
+  if (has_fault_plan_) {
+    pipeline.SetFaultPlan(fault_plan_);
+  }
+  if (deadline_enabled_) {
+    pipeline.SetDeadline(governor_config_);
+  }
+  if (ingest_cap_ > 0) {
+    pipeline.SetIngestCap(ingest_cap_, ingest_policy_);
+  }
+  if (has_sink_retry_) {
+    pipeline.SetSinkRetry(sink_retry_);
+  }
+  if (!checkpoint_path_.empty()) {
+    pipeline.SetCheckpoint(checkpoint_path_, checkpoint_every_);
+  }
+}
+
+std::unique_ptr<Pipeline> PipelineBuilder::RestoreOrBuild(const std::string& path) const {
+  std::unique_ptr<Pipeline> pipeline;
+  std::ifstream in(path, std::ios::binary);
+  if (in) {
+    try {
+      pipeline = Restore(in);
+    } catch (const obs::SnapshotError&) {
+      // Torn or corrupt checkpoint: the atomic writer makes this unlikely,
+      // but an operator-truncated file must not keep the monitor down.
+      pipeline = nullptr;
+    }
+  }
+  if (pipeline == nullptr) {
+    return BuildUnique();  // the Pipeline ctor applies the rt options
+  }
+  ApplyRtOptions(*pipeline);
+  return pipeline;
+}
+
 PipelineBuilder PipelineBuilder::FromRunSpec(const core::RunSpec& spec) {
   PipelineBuilder builder;
   builder.config_ = spec.system;
@@ -228,6 +316,12 @@ void PipelineBuilder::Validate() const {
       throw ConfigError("query '" + pending.name + "': min_sampling_rate must be in [0, 1]");
     }
   }
+  if (deadline_enabled_ && !(governor_config_.budget_fraction > 0.0)) {
+    throw ConfigError("deadline budget_fraction must be positive");
+  }
+  if (checkpoint_every_ > 0 && checkpoint_path_.empty()) {
+    throw ConfigError("CheckpointEvery without CheckpointTo: no checkpoint path set");
+  }
   if (!csv_path_.empty()) {
     CheckWritable(csv_path_, "csv sink");
   }
@@ -236,6 +330,9 @@ void PipelineBuilder::Validate() const {
   }
   if (!log_path_.empty()) {
     CheckWritable(log_path_, "event log");
+  }
+  if (!checkpoint_path_.empty()) {
+    CheckWritable(checkpoint_path_, "checkpoint");
   }
 }
 
@@ -278,14 +375,19 @@ Pipeline::Pipeline(const PipelineBuilder& builder)
     }
   }
   if (!builder.csv_path_.empty()) {
-    AddObserver(std::make_unique<CsvBinSink>(builder.csv_path_));
+    auto sink = std::make_unique<CsvBinSink>(builder.csv_path_);
+    rt_sinks_.push_back(sink.get());
+    AddObserver(std::move(sink));
   }
   if (!builder.jsonl_path_.empty()) {
-    AddObserver(std::make_unique<JsonlBinSink>(builder.jsonl_path_));
+    auto sink = std::make_unique<JsonlBinSink>(builder.jsonl_path_);
+    rt_sinks_.push_back(sink.get());
+    AddObserver(std::move(sink));
   }
   if (!builder.log_path_.empty()) {
     SetLogger(std::make_unique<obs::JsonlLogger>(builder.log_path_));
   }
+  builder.ApplyRtOptions(*this);
 }
 
 Pipeline::~Pipeline() = default;
@@ -421,6 +523,31 @@ void Pipeline::AppendRecord(const net::PacketRecord& record, const uint8_t* payl
   if (bin > open_bin_) {
     FlushThrough(bin);
   }
+  if (ingest_cap_ > 0 && open_records() >= ingest_cap_) {
+    switch (ingest_policy_) {
+      case rt::OverflowPolicy::kDropNewest:
+        ++ingest_dropped_;
+        if (m_ingest_dropped_ != nullptr) {
+          m_ingest_dropped_->Increment();
+        }
+        return;
+      case rt::OverflowPolicy::kDropOldest:
+        // Evict by advancing the head; the evicted payload bytes idle in the
+        // arena until the bin closes (see the ingest_head_ comment).
+        wire_bytes_ -= records_[ingest_head_].wire_len;
+        ++ingest_head_;
+        ++ingest_dropped_;
+        if (m_ingest_dropped_ != nullptr) {
+          m_ingest_dropped_->Increment();
+        }
+        break;
+      case rt::OverflowPolicy::kBlock:
+        // Backpressure at a synchronous facade is Push's own synchrony: the
+        // caller is already blocked for the duration of the call, so a full
+        // buffer simply keeps absorbing (i.e. the cap is advisory here).
+        break;
+    }
+  }
   records_.push_back(record);
   payload_offsets_.push_back(arena_.size());
   if (record.payload_len > 0) {
@@ -454,8 +581,8 @@ void Pipeline::CloseOpenBin() {
   batch_.duration_us = bin_us_;
   batch_.wire_bytes = wire_bytes_;
   batch_.packets.clear();
-  batch_.packets.reserve(records_.size());
-  for (size_t i = 0; i < records_.size(); ++i) {
+  batch_.packets.reserve(open_records());
+  for (size_t i = ingest_head_; i < records_.size(); ++i) {
     net::Packet packet;
     packet.rec = &records_[i];
     packet.payload_len = records_[i].payload_len;
@@ -464,18 +591,30 @@ void Pipeline::CloseOpenBin() {
     batch_.packets.push_back(packet);
   }
 
+  // Deadline bracket: the directive shaped by bin N-1's overrun applies to
+  // this bin, and this bin's wall-clock verdict shapes bin N+1 — never the
+  // bin being measured, so deadline-clean runs stay bit-identical.
+  if (governor_ != nullptr) {
+    system_->SetDegradation(governor_->Begin());
+  }
   system_->ProcessBatch(batch_);
   UpdateTallies(system_->log().back());
   RunReferences();
+  if (governor_ != nullptr) {
+    governor_->End(bin_us_, open_bin_);
+    system_->MarkDeadline(governor_->last_deadline_missed(), governor_->last_overrun_us());
+  }
   NotifyObservers();
 
   batch_.packets.clear();
   records_.clear();
   payload_offsets_.clear();
   arena_.clear();
+  ingest_head_ = 0;
   wire_bytes_ = 0;
   ++bins_processed_;
   ++open_bin_;
+  MaybeCheckpoint();
 }
 
 void Pipeline::RunReferences() {
@@ -528,7 +667,7 @@ void Pipeline::Finish() {
   if (finished_) {
     return;
   }
-  if (!records_.empty()) {
+  if (open_records() > 0) {
     CloseOpenBin();
   }
   system_->Finish();
@@ -590,11 +729,119 @@ PipelineStats Pipeline::Stats() const {
   stats.mean_utilization = tally_bins_ > 0 ? util_sum_ / static_cast<double>(tally_bins_) : 0.0;
   stats.prediction_error_ewma = system_->error_ewma_value();
   stats.backlog_cycles = system_->backlog_cycles();
+  stats.ingest_dropped = ingest_dropped_;
+  stats.deadline_misses = governor_ != nullptr ? governor_->deadline_misses() : 0;
+  stats.degradation_level = governor_ != nullptr ? governor_->level() : 0;
+  stats.checkpoints = checkpoints_written_;
   return stats;
 }
 
 void Pipeline::SetLogger(std::unique_ptr<obs::JsonlLogger> logger) {
   logger_ = std::move(logger);
+  // The governor and resilient sinks hold a borrowed logger pointer;
+  // re-attach so their events follow the replacement (or detach on null).
+  if (governor_ != nullptr) {
+    governor_->Attach(&system_->metrics(), logger_.get());
+  }
+  AttachSinkRt();
+}
+
+// ---------------------------------------------------------------------------
+// Real-time robustness
+// ---------------------------------------------------------------------------
+
+void Pipeline::SetDeadline(const rt::GovernorConfig& config) {
+  if (clock_ == nullptr) {
+    clock_ = rt::DefaultClock();
+  }
+  governor_ = std::make_unique<rt::DeadlineGovernor>(config, clock_);
+  governor_->Attach(&system_->metrics(), logger_.get());
+}
+
+void Pipeline::ClearDeadline() {
+  governor_.reset();
+  system_->SetDegradation(rt::Directive{});
+}
+
+void Pipeline::SetFaultPlan(const rt::FaultPlan& plan) {
+  if (clock_ == nullptr) {
+    clock_ = rt::DefaultClock();
+  }
+  injector_ = std::make_unique<rt::FaultInjector>(plan, clock_);
+  system_->SetFaultInjector(injector_.get());
+  AttachSinkRt();
+}
+
+void Pipeline::SetIngestCap(size_t max_records, rt::OverflowPolicy policy) {
+  ingest_cap_ = max_records;
+  ingest_policy_ = policy;
+  if (ingest_cap_ > 0 && m_ingest_dropped_ == nullptr) {
+    m_ingest_dropped_ = &system_->metrics().GetCounter(
+        "shedmon_rt_ingest_dropped_total", {},
+        "Records rejected or evicted by the bounded ingest buffer");
+  }
+}
+
+void Pipeline::SetSinkRetry(const rt::RetryPolicy& policy) {
+  sink_retry_ = policy;
+  if (clock_ == nullptr) {
+    clock_ = rt::DefaultClock();
+  }
+  for (ResilientSinkBase* sink : rt_sinks_) {
+    sink->EnableResilience(sink_retry_, clock_);
+  }
+  AttachSinkRt();
+}
+
+void Pipeline::SetCheckpoint(std::string path, size_t every_bins) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = every_bins;
+}
+
+void Pipeline::AttachSinkRt() {
+  for (ResilientSinkBase* sink : rt_sinks_) {
+    sink->AttachRt(injector_.get(), &system_->metrics(), logger_.get());
+  }
+}
+
+void Pipeline::MaybeCheckpoint() {
+  if (checkpoint_path_.empty()) {
+    return;
+  }
+  const size_t every =
+      checkpoint_every_ > 0 ? checkpoint_every_ : system_->config().system_interval_bins;
+  if (bins_processed_ == 0 || bins_processed_ % every != 0) {
+    return;
+  }
+  // Snapshots are only legal on measurement-interval boundaries; off-cadence
+  // configurations simply skip until the two align.
+  if (!system_->AtIntervalBoundary() || open_records() > 0) {
+    return;
+  }
+  try {
+    std::ostringstream buf(std::ios::binary);
+    Snapshot(buf);
+    std::string bytes = buf.str();
+    if (injector_ != nullptr && injector_->TakeSnapshotCorruption() && !bytes.empty()) {
+      bytes[bytes.size() / 2] ^= 0x20;  // injected torn/corrupt checkpoint
+    }
+    rt::WriteFileAtomic(checkpoint_path_, bytes);
+    ++checkpoints_written_;
+    if (logger_ != nullptr) {
+      logger_->Write(obs::LogEvent("rt_checkpoint")
+                         .Str("path", checkpoint_path_)
+                         .Int("bin", open_bin_)
+                         .Int("bytes", bytes.size()));
+    }
+  } catch (const std::exception& e) {
+    // Losing a checkpoint must not kill the measurement: log and move on.
+    if (logger_ != nullptr) {
+      logger_->Write(obs::LogEvent("rt_checkpoint_failed")
+                         .Str("path", checkpoint_path_)
+                         .Int("bin", open_bin_)
+                         .Str("error", e.what()));
+    }
+  }
 }
 
 query::AccuracyRow Pipeline::AccuracyAt(size_t index) const {

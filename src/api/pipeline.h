@@ -18,6 +18,11 @@
 #include "src/obs/metrics.h"
 #include "src/query/accuracy.h"
 #include "src/query/query.h"
+#include "src/rt/bounded_queue.h"
+#include "src/rt/clock.h"
+#include "src/rt/fault.h"
+#include "src/rt/governor.h"
+#include "src/rt/resilient.h"
 #include "src/trace/batch.h"
 #include "src/trace/generator.h"
 
@@ -55,6 +60,11 @@ struct PipelineStats {
   double mean_utilization = 0.0;  // across closed bins
   double prediction_error_ewma = 0.0;
   double backlog_cycles = 0.0;
+  // Real-time robustness tallies (all zero unless the rt features are on).
+  uint64_t ingest_dropped = 0;   // records rejected by the bounded ingest buffer
+  uint64_t deadline_misses = 0;  // bins that overran their wall-clock budget
+  int degradation_level = 0;     // current ladder rung (0 = none)
+  size_t checkpoints = 0;        // crash-safe checkpoints written
 };
 
 // Streaming result sink: OnBin fires once per closed time bin, in bin order,
@@ -152,6 +162,48 @@ class PipelineBuilder {
   PipelineBuilder& JsonlTo(std::string path);
   PipelineBuilder& LogTo(std::string path);
 
+  // ---- Real-time robustness (src/rt) --------------------------------------
+  // Per-bin wall-clock deadline enforcement: each closed bin must finish
+  // processing within budget_fraction x the bin duration; overruns escalate
+  // the degradation ladder (boost shedding -> truncate low-priority queries
+  // -> drop bins) one rung at a time and decay back after clean bins. 0
+  // disables (the default). Runs where the governor never fires produce
+  // BinLogs bit-identical to a governor-less pipeline.
+  PipelineBuilder& Deadline(double budget_fraction);
+  PipelineBuilder& Deadline(const rt::GovernorConfig& config);
+  // Time source for the governor, sink retry backoff and fault injection;
+  // inject a rt::ManualClock for deterministic tests. Defaults to the
+  // steady-clock rt::SystemClock.
+  PipelineBuilder& RtClock(std::shared_ptr<rt::Clock> clock);
+  // Bounds the open-bin ingest buffer to `max_records` packets. kDropNewest
+  // rejects arrivals while full; kDropOldest evicts the oldest buffered
+  // record; kBlock (the default policy) means backpressure — which at this
+  // synchronous facade is simply Push's own synchrony, i.e. unbounded. 0
+  // disables (the default). Drops are tallied in PipelineStats and
+  // shedmon_rt_ingest_dropped_total, never in BinLog packet fields.
+  PipelineBuilder& IngestCap(size_t max_records,
+                             rt::OverflowPolicy policy = rt::OverflowPolicy::kDropNewest);
+  // Attaches a seeded deterministic fault plan (see rt::FaultPlan) injected
+  // into the coordinator loop, exec workers, sinks and checkpoint writes.
+  PipelineBuilder& InjectFaults(const rt::FaultPlan& plan);
+  // Periodic crash-safe checkpoints: every `bins` closed bins (at the next
+  // measurement-interval boundary, where snapshots are legal) the pipeline
+  // snapshots itself to `path` via write-to-temp + fsync + atomic rename.
+  // CheckpointEvery defaults to the system's measurement interval.
+  PipelineBuilder& CheckpointTo(std::string path);
+  PipelineBuilder& CheckpointEvery(size_t bins);
+  // Retry/backoff policy for the CSV/JSONL sinks (see rt::ResilientWriter);
+  // a sink that exhausts its retries is quarantined instead of failing the
+  // run.
+  PipelineBuilder& SinkRetry(const rt::RetryPolicy& policy);
+
+  // Restore-on-restart: restores from `path` when it holds a readable
+  // snapshot; a missing, torn or corrupt file (e.g. a crash mid-checkpoint,
+  // though the atomic checkpoint writer makes that exceedingly unlikely)
+  // falls back to building fresh from this builder's configuration. The rt
+  // options above are re-applied to the restored pipeline either way.
+  std::unique_ptr<Pipeline> RestoreOrBuild(const std::string& path) const;
+
   // Mirrors a core::RunSpec (system config, oracle, min-rate policy); the
   // spec's queries are added by the caller, e.g. via api::RunTrace.
   static PipelineBuilder FromRunSpec(const core::RunSpec& spec);
@@ -203,6 +255,22 @@ class PipelineBuilder {
   std::string csv_path_;
   std::string jsonl_path_;
   std::string log_path_;
+  // rt options; applied by Build() and re-applied after RestoreOrBuild().
+  bool deadline_enabled_ = false;
+  rt::GovernorConfig governor_config_;
+  std::shared_ptr<rt::Clock> clock_;
+  size_t ingest_cap_ = 0;
+  rt::OverflowPolicy ingest_policy_ = rt::OverflowPolicy::kDropNewest;
+  bool has_fault_plan_ = false;
+  rt::FaultPlan fault_plan_;
+  std::string checkpoint_path_;
+  size_t checkpoint_every_ = 0;  // 0 = the system's measurement interval
+  bool has_sink_retry_ = false;
+  rt::RetryPolicy sink_retry_;
+
+  // Shared by Build() and RestoreOrBuild(): arms the rt options on a
+  // freshly built or freshly restored pipeline.
+  void ApplyRtOptions(Pipeline& pipeline) const;
 };
 
 // The supported public entry point to shedmon: a long-lived, online
@@ -319,6 +387,32 @@ class Pipeline {
   // from the coordinator thread.
   void SetLogger(std::unique_ptr<obs::JsonlLogger> logger);
 
+  // ---- Real-time robustness (src/rt) --------------------------------------
+  // Attach (or replace) the deadline governor mid-run; the rt configuration
+  // is process-local and deliberately not serialized into snapshots, so a
+  // restored pipeline re-arms through these setters (RestoreOrBuild does it
+  // from the builder's options automatically).
+  void SetDeadline(const rt::GovernorConfig& config);
+  void ClearDeadline();
+  void SetFaultPlan(const rt::FaultPlan& plan);
+  void SetIngestCap(size_t max_records, rt::OverflowPolicy policy);
+  void SetSinkRetry(const rt::RetryPolicy& policy);
+  // Arms periodic crash-safe checkpoints (empty path disarms). Checkpoints
+  // fire after every `every_bins`-th closed bin, at the next
+  // measurement-interval boundary; failures are logged and counted, never
+  // thrown — losing a checkpoint must not kill the measurement.
+  void SetCheckpoint(std::string path, size_t every_bins);
+
+  const rt::DeadlineGovernor* governor() const { return governor_.get(); }
+  const rt::FaultInjector* fault_injector() const { return injector_.get(); }
+  const std::shared_ptr<rt::Clock>& rt_clock() const { return clock_; }
+  // First bin a packet may land in: everything before it is already closed.
+  // A driver replaying input into a restored pipeline skips packets whose
+  // bin is older than this.
+  uint64_t next_bin() const { return open_bin_; }
+  uint64_t ingest_dropped() const { return ingest_dropped_; }
+  size_t checkpoints_written() const { return checkpoints_written_; }
+
   // ---- Snapshot ----------------------------------------------------------
   // Serializes the run state (versioned binary format) so that
   // PipelineBuilder::Restore + replaying the remaining input reproduces the
@@ -379,6 +473,9 @@ class Pipeline {
   void NotifyObservers();
   void EnsureOpen(std::string_view op) const;
   void UpdateTallies(const core::BinLog& log);
+  void MaybeCheckpoint();
+  void AttachSinkRt();
+  size_t open_records() const { return records_.size() - ingest_head_; }
 
   bool track_accuracy_;
   bool default_min_rates_;
@@ -389,14 +486,36 @@ class Pipeline {
 
   // Open-bin assembler: records and payload bytes accumulate in push order;
   // Packet views are fixed up against the final buffer addresses when the
-  // bin closes, so mid-bin reallocation is harmless.
+  // bin closes, so mid-bin reallocation is harmless. With a bounded ingest
+  // buffer, ingest_head_ indexes the oldest record still alive: kDropOldest
+  // evicts by advancing it (the evicted payload bytes idle in the arena
+  // until the bin closes), so records_[ingest_head_..] is the open bin.
   uint64_t bin_us_;
   uint64_t open_bin_ = 0;
   std::vector<net::PacketRecord> records_;
   std::vector<size_t> payload_offsets_;
   std::vector<uint8_t> arena_;
+  size_t ingest_head_ = 0;
   uint64_t wire_bytes_ = 0;
   trace::Batch batch_;  // reused scratch; views point into records_/arena_
+
+  // Real-time robustness state (see src/rt). The clock is shared by the
+  // governor, fault injector and sink retry backoff so one ManualClock
+  // drives every rt decision in tests.
+  std::shared_ptr<rt::Clock> clock_;
+  std::unique_ptr<rt::DeadlineGovernor> governor_;
+  std::unique_ptr<rt::FaultInjector> injector_;
+  size_t ingest_cap_ = 0;
+  rt::OverflowPolicy ingest_policy_ = rt::OverflowPolicy::kDropNewest;
+  uint64_t ingest_dropped_ = 0;
+  obs::Counter* m_ingest_dropped_ = nullptr;
+  std::string checkpoint_path_;
+  size_t checkpoint_every_ = 0;
+  size_t checkpoints_written_ = 0;
+  rt::RetryPolicy sink_retry_;
+  // Owned sinks created from builder paths, remembered so rt attachments
+  // (retry policy, fault injector, metrics) can be re-applied by setters.
+  std::vector<class ResilientSinkBase*> rt_sinks_;
 
   std::vector<BinObserver*> observers_;
   std::vector<std::unique_ptr<BinObserver>> owned_observers_;

@@ -1,6 +1,8 @@
 #include "src/api/sinks.h"
 
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace shedmon::api {
 
@@ -41,35 +43,81 @@ void WriteJsonString(std::ostream& out, std::string_view text) {
 
 }  // namespace
 
-CsvBinSink::CsvBinSink(std::ostream& out) : out_(&out) {}
+ResilientSinkBase::ResilientSinkBase(std::ostream& out, std::string name)
+    : out_(&out), name_(std::move(name)) {}
 
-CsvBinSink::CsvBinSink(const std::string& path) : file_(OpenOrThrow(path)), out_(&file_) {}
+ResilientSinkBase::ResilientSinkBase(const std::string& path, std::string name)
+    : file_(OpenOrThrow(path)), out_(&file_), name_(std::move(name)) {}
 
-void CsvBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
-  if (!header_written_) {
-    *out_ << "bin,start_us,num_queries,packets_in,packets_dropped,packets_unsampled,"
-             "batch_dropped,overload,predicted_cycles,avail_cycles,query_cycles,ps_cycles,"
-             "ls_cycles,como_cycles,backlog_cycles,rtthresh,utilization,drop_fraction,"
-             "shed_fraction\n";
-    header_written_ = true;
+void ResilientSinkBase::EnableResilience(const rt::RetryPolicy& policy,
+                                         std::shared_ptr<rt::Clock> clock) {
+  if (clock == nullptr) {
+    clock = rt::DefaultClock();
   }
-  *out_ << stats.bin_index << ',' << log.start_us << ',' << stats.num_queries << ','
-        << log.packets_in << ',' << log.packets_dropped << ',' << log.packets_unsampled << ','
-        << (log.batch_dropped ? 1 : 0) << ',' << (log.overload ? 1 : 0) << ','
-        << log.predicted_cycles << ',' << log.avail_cycles << ',' << log.query_cycles << ','
-        << log.ps_cycles << ',' << log.ls_cycles << ',' << log.como_cycles << ','
-        << log.backlog_cycles << ',' << log.rtthresh << ',' << stats.utilization << ','
-        << stats.drop_fraction << ',' << stats.shed_fraction << '\n';
+  writer_ = std::make_unique<rt::ResilientWriter>(*out_, policy, std::move(clock));
+  writer_->SetFaultInjector(injector_);
+  writer_->Attach(metrics_, logger_, name_);
 }
 
-void CsvBinSink::OnRunEnd() { out_->flush(); }
+void ResilientSinkBase::AttachRt(rt::FaultInjector* injector, obs::MetricsRegistry* metrics,
+                                 obs::JsonlLogger* logger) {
+  injector_ = injector;
+  metrics_ = metrics;
+  logger_ = logger;
+  if (writer_ != nullptr) {
+    writer_->SetFaultInjector(injector_);
+    writer_->Attach(metrics_, logger_, name_);
+  }
+}
 
-JsonlBinSink::JsonlBinSink(std::ostream& out) : out_(&out) {}
+void ResilientSinkBase::WriteRow(const std::string& row) {
+  if (writer_ != nullptr) {
+    writer_->Write(row);
+  } else {
+    out_->write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+}
 
-JsonlBinSink::JsonlBinSink(const std::string& path) : file_(OpenOrThrow(path)), out_(&file_) {}
+void ResilientSinkBase::OnRunEnd() {
+  if (writer_ != nullptr) {
+    writer_->Flush();
+  } else {
+    out_->flush();
+  }
+}
+
+CsvBinSink::CsvBinSink(std::ostream& out) : ResilientSinkBase(out, "csv") {}
+
+CsvBinSink::CsvBinSink(const std::string& path) : ResilientSinkBase(path, "csv") {}
+
+void CsvBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
+  std::ostringstream row;
+  if (!header_written_) {
+    row << "bin,start_us,num_queries,packets_in,packets_dropped,packets_unsampled,"
+           "batch_dropped,overload,predicted_cycles,avail_cycles,query_cycles,ps_cycles,"
+           "ls_cycles,como_cycles,backlog_cycles,rtthresh,utilization,drop_fraction,"
+           "shed_fraction,degradation,deadline_missed,deadline_overrun_us\n";
+    header_written_ = true;
+  }
+  row << stats.bin_index << ',' << log.start_us << ',' << stats.num_queries << ','
+      << log.packets_in << ',' << log.packets_dropped << ',' << log.packets_unsampled << ','
+      << (log.batch_dropped ? 1 : 0) << ',' << (log.overload ? 1 : 0) << ','
+      << log.predicted_cycles << ',' << log.avail_cycles << ',' << log.query_cycles << ','
+      << log.ps_cycles << ',' << log.ls_cycles << ',' << log.como_cycles << ','
+      << log.backlog_cycles << ',' << log.rtthresh << ',' << stats.utilization << ','
+      << stats.drop_fraction << ',' << stats.shed_fraction << ','
+      << static_cast<int>(log.degradation) << ',' << (log.deadline_missed ? 1 : 0) << ','
+      << log.deadline_overrun_us << '\n';
+  WriteRow(row.str());
+}
+
+JsonlBinSink::JsonlBinSink(std::ostream& out) : ResilientSinkBase(out, "jsonl") {}
+
+JsonlBinSink::JsonlBinSink(const std::string& path) : ResilientSinkBase(path, "jsonl") {}
 
 void JsonlBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
-  std::ostream& out = *out_;
+  std::ostringstream buf;
+  std::ostream& out = buf;
   out << "{\"bin\":" << stats.bin_index << ",\"start_us\":" << log.start_us
       << ",\"packets_in\":" << log.packets_in
       << ",\"packets_dropped\":" << log.packets_dropped
@@ -80,7 +128,10 @@ void JsonlBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
       << ",\"avail_cycles\":" << log.avail_cycles << ",\"query_cycles\":" << log.query_cycles
       << ",\"ps_cycles\":" << log.ps_cycles << ",\"ls_cycles\":" << log.ls_cycles
       << ",\"como_cycles\":" << log.como_cycles << ",\"backlog_cycles\":" << log.backlog_cycles
-      << ",\"utilization\":" << stats.utilization << ",\"queries\":[";
+      << ",\"utilization\":" << stats.utilization
+      << ",\"degradation\":" << static_cast<int>(log.degradation)
+      << ",\"deadline_missed\":" << (log.deadline_missed ? "true" : "false")
+      << ",\"deadline_overrun_us\":" << log.deadline_overrun_us << ",\"queries\":[";
   for (size_t q = 0; q < stats.query_names.size(); ++q) {
     if (q > 0) {
       out << ',';
@@ -100,8 +151,7 @@ void JsonlBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
     out << (q > 0 ? "," : "") << (log.disabled[q] ? "true" : "false");
   }
   out << "]}\n";
+  WriteRow(buf.str());
 }
-
-void JsonlBinSink::OnRunEnd() { out_->flush(); }
 
 }  // namespace shedmon::api

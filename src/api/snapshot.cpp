@@ -19,11 +19,13 @@
 // zero on restore — they describe the restoring process, not the run.
 
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/api/pipeline.h"
 #include "src/obs/snapshot.h"
 #include "src/query/queries.h"
+#include "src/rt/atomic_file.h"
 
 namespace shedmon::api {
 
@@ -145,6 +147,7 @@ void Pipeline::Snapshot(std::ostream& out) const {
   w.U64(open_bin_);
   w.U64(bins_processed_);
   w.U64(next_id_);
+  w.Trailer();
   if (!out) {
     throw obs::SnapshotError("Pipeline::Snapshot: write failed");
   }
@@ -155,14 +158,16 @@ void Pipeline::Snapshot(std::ostream& out) const {
 }
 
 void Pipeline::Snapshot(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw obs::SnapshotError("Pipeline::Snapshot: cannot open '" + path + "' for writing");
-  }
-  Snapshot(out);
-  out.flush();
-  if (!out) {
-    throw obs::SnapshotError("Pipeline::Snapshot: write to '" + path + "' failed");
+  // Serialize fully in memory, then publish via write-to-temp + fsync +
+  // rename: readers either see the old file or the complete new one, never
+  // a torn snapshot — a crash mid-write cannot destroy the previous state.
+  std::ostringstream buf(std::ios::binary);
+  Snapshot(buf);
+  try {
+    rt::WriteFileAtomic(path, buf.str());
+  } catch (const std::runtime_error& e) {
+    throw obs::SnapshotError("Pipeline::Snapshot: write to '" + path +
+                             "' failed: " + e.what());
   }
 }
 
@@ -198,6 +203,7 @@ std::unique_ptr<Pipeline> PipelineBuilder::Restore(std::istream& in) {
   pipeline->open_bin_ = r.U64();
   pipeline->bins_processed_ = static_cast<size_t>(r.U64());
   pipeline->next_id_ = r.U64();
+  r.Trailer();
   return pipeline;
 }
 

@@ -66,6 +66,14 @@ void MonitoringSystem::InitInstruments() {
   ins_.prediction_error_ratio = &reg.GetHistogram(
       "shedmon_prediction_error_ratio", {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}, {},
       "Per-bin |predicted - actual| / actual query cycles");
+  ins_.rt_degraded_bins = &reg.GetCounter(
+      "shedmon_rt_degraded_bins_total", {},
+      "Bins processed under a degradation directive (boost/truncate/drop)");
+  ins_.rt_dropped_bins = &reg.GetCounter("shedmon_rt_dropped_bins_total", {},
+                                         "Bins dropped whole by the deadline ladder");
+  ins_.rt_truncated_queries = &reg.GetCounter(
+      "shedmon_rt_truncated_queries_total", {},
+      "Query executions skipped by the truncation rung of the deadline ladder");
   ins_.capacity_cycles->Set(capacity_);
 
   if (pool_ != nullptr) {
@@ -161,7 +169,40 @@ std::unique_ptr<query::Query> MonitoringSystem::RemoveQuery(size_t index) {
   return query;
 }
 
+void MonitoringSystem::SetFaultInjector(rt::FaultInjector* injector) {
+  injector_ = injector;
+  executor_.SetFaultInjector(injector);
+}
+
+void MonitoringSystem::MarkDeadline(bool missed, double overrun_us) {
+  if (log_.empty()) {
+    return;
+  }
+  log_.back().deadline_missed = missed;
+  log_.back().deadline_overrun_us = overrun_us;
+}
+
+// Accounts a bin whose batch is lost in its entirety before any query work:
+// the capture-buffer overflow of Fig. 4.2 and the kDropBin rung of the
+// deadline ladder share this path. The bin still drains capacity.
+void MonitoringSystem::RecordDroppedBin(const trace::Batch& batch, BinLog& log) {
+  log.batch_dropped = true;
+  log.packets_dropped = batch.size();
+  total_dropped_ += batch.size();
+  backlog_cycles_ = std::max(0.0, backlog_cycles_ - capacity_);
+  log.backlog_cycles = backlog_cycles_;
+  log.rtthresh = rtthresh_;
+  TickIntervals();
+  UpdateBinInstruments(log);
+  log_.push_back(std::move(log));
+}
+
 void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
+  if (injector_ != nullptr) {
+    injector_->OnBinStart(log_.size());
+  }
+  executor_.SetBinIndex(log_.size());
+
   BinLog log;
   log.start_us = batch.start_us;
   log.packets_in = batch.size();
@@ -169,23 +210,29 @@ void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
   log.per_query_cycles.assign(queries_.size(), 0.0);
   log.disabled.assign(queries_.size(), false);
   log.como_cycles = config_.como_overhead_fraction * capacity_;
+  log.degradation = static_cast<uint8_t>(degrade_.action);
+  if (degrade_.action != rt::DegradeAction::kNone) {
+    ins_.rt_degraded_bins->Increment();
+  }
   total_packets_ += batch.size();
 
   const double buffer_cap = config_.buffer_bins * capacity_;
 
   // Capture-buffer emulation: when the backlog has filled the buffer, the
   // incoming batch is lost in its entirety before any processing — these are
-  // the uncontrolled "DAG drops" of Fig. 4.2. The bin still drains capacity.
+  // the uncontrolled "DAG drops" of Fig. 4.2.
   if (backlog_cycles_ >= buffer_cap - kEps) {
-    log.batch_dropped = true;
-    log.packets_dropped = batch.size();
-    total_dropped_ += batch.size();
-    backlog_cycles_ = std::max(0.0, backlog_cycles_ - capacity_);
-    log.backlog_cycles = backlog_cycles_;
-    log.rtthresh = rtthresh_;
-    TickIntervals();
-    UpdateBinInstruments(log);
-    log_.push_back(std::move(log));
+    RecordDroppedBin(batch, log);
+    return;
+  }
+
+  // Final rung of the deadline ladder: processing keeps missing its
+  // real-time budget even truncated, so sacrifice the whole bin to let the
+  // system catch up — a controlled, accounted version of what a live probe
+  // would otherwise suffer as capture-buffer overflow.
+  if (degrade_.action == rt::DegradeAction::kDropBin) {
+    ins_.rt_dropped_bins->Increment();
+    RecordDroppedBin(batch, log);
     return;
   }
 
@@ -210,6 +257,37 @@ void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
   TickIntervals();
   UpdateBinInstruments(log);
   log_.push_back(std::move(log));
+}
+
+void MonitoringSystem::ApplyDegradation(std::vector<double>& rate,
+                                        std::vector<bool>& disabled) {
+  if (degrade_.action == rt::DegradeAction::kNone) {
+    return;
+  }
+  if (degrade_.rate_scale < 1.0) {
+    for (size_t q = 0; q < rate.size(); ++q) {
+      if (disabled[q]) {
+        continue;
+      }
+      // Scale the grant but keep the user's declared minimum (m_q is a
+      // contract, §5.2) as long as it was being honoured: if the floors
+      // alone still bust the wall-clock budget, the ladder's next rungs —
+      // truncation and whole-bin drops — break the contract explicitly and
+      // observably instead of this rung eroding it silently.
+      const double floor = std::min(rate[q], queries_[q]->config.min_sampling_rate);
+      rate[q] = std::max(rate[q] * degrade_.rate_scale, floor);
+    }
+  }
+  int left = degrade_.truncate_queries;
+  for (size_t q = rate.size(); q-- > 0 && left > 0;) {
+    if (disabled[q] || rate[q] <= kEps) {
+      continue;
+    }
+    rate[q] = 0.0;
+    disabled[q] = true;
+    --left;
+    ins_.rt_truncated_queries->Increment();
+  }
 }
 
 uint64_t MonitoringSystem::PlanOracleCalls(double rate, bool update_history,
@@ -486,6 +564,11 @@ void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
   shed::Allocation alloc = strategy_->Allocate(demands, budget);
   log.overload = pred_total * (1.0 + err) > budget + kEps;
 
+  // Deadline-ladder boost/truncate rungs act on the finished allocation, so
+  // the cycle-oracle-driven decision above stays untouched (and bit-exact)
+  // whenever the governor is quiet.
+  ApplyDegradation(alloc.rate, alloc.disabled);
+
   // Phase 4 (lines 10-16): shed and execute. Pre-execution bookkeeping
   // (penalty ticks, warm-up probes, rate finalization, charge-slot
   // reservation) stays on the coordinating thread in registration order so
@@ -603,11 +686,24 @@ void MonitoringSystem::RunReactive(const trace::Batch& batch, BinLog& log) {
   log.overload = reactive_rate_ < 1.0 - kEps;
 
   const size_t n = queries_.size();
+  // The deadline ladder applies on top of the reactive controller exactly as
+  // it does on the predictive allocation: scale the granted rates, then
+  // truncate the lowest-priority queries. The controller's own state
+  // (reactive_rate_) deliberately stays unscaled so recovery after the
+  // governor steps down starts from the controller's view, not the ladder's.
+  std::vector<double> rates(n, reactive_rate_);
+  std::vector<bool> disabled(n, false);
+  ApplyDegradation(rates, disabled);
+
   std::vector<uint64_t> base_seq(n);
   for (size_t q = 0; q < n; ++q) {
-    log.rate[q] = reactive_rate_;
+    log.rate[q] = rates[q];
+    log.disabled[q] = disabled[q];
+    if (disabled[q]) {
+      continue;
+    }
     base_seq[q] = oracle_->ReserveSequence(PlanOracleCalls(
-        reactive_rate_, /*update_history=*/false, /*has_shared_features=*/false));
+        rates[q], /*update_history=*/false, /*has_shared_features=*/false));
   }
   std::vector<QueryTaskResult> results(n);
   std::vector<QueryExec> ex(n);
@@ -615,7 +711,10 @@ void MonitoringSystem::RunReactive(const trace::Batch& batch, BinLog& log) {
   executor_.Run(
       n,
       [&](size_t q) {
-        ExecuteQueryPre(*queries_[q], batch, reactive_rate_,
+        if (disabled[q]) {
+          return;
+        }
+        ExecuteQueryPre(*queries_[q], batch, rates[q],
                         /*update_history=*/false, nullptr, base_seq[q], ex[q], results[q]);
         if (!ex[q].sharded()) {
           ExecuteQueryPost(*queries_[q], batch, ex[q], results[q]);

@@ -17,6 +17,8 @@
 #include "src/query/query.h"
 #include "src/shed/enforcement.h"
 #include "src/shed/sampler.h"
+#include "src/rt/fault.h"
+#include "src/rt/governor.h"
 #include "src/shed/strategy.h"
 #include "src/trace/batch.h"
 #include "src/util/ewma.h"
@@ -119,6 +121,12 @@ struct BinLog {
   std::vector<double> rate;          // per query
   std::vector<double> per_query_cycles;
   std::vector<bool> disabled;
+  // Real-time robustness bookkeeping (src/rt). All three stay at their zero
+  // defaults unless a deadline governor is attached and fired, so runs
+  // without one are bit-identical to pre-rt builds.
+  uint8_t degradation = 0;       // rt::DegradeAction applied to this bin
+  bool deadline_missed = false;  // bin overran its wall-clock budget
+  double deadline_overrun_us = 0.0;
 };
 
 // The CoMo-like monitoring pipeline with the thesis's load shedding scheme.
@@ -175,6 +183,25 @@ class MonitoringSystem {
   double rtthresh() const { return rtthresh_; }
   double error_ewma_value() const { return error_ewma_.value(); }
 
+  // ---- Real-time robustness (src/rt) ---------------------------------------
+  // Degradation directive for subsequent ProcessBatch calls, normally issued
+  // per bin by a rt::DeadlineGovernor (via api::Pipeline). kBoostShedding
+  // scales granted sampling rates by rate_scale (never below a query's
+  // declared minimum — if the floors themselves bust the budget the ladder
+  // escalates past them); kTruncate additionally disables the last
+  // `truncate_queries` enabled queries (highest registration index = lowest
+  // priority); kDropBin discards the whole batch like a capture-buffer
+  // overflow. A default-constructed Directive restores normal processing and
+  // is bit-exact with never having called this.
+  void SetDegradation(const rt::Directive& directive) { degrade_ = directive; }
+  // Fault-injection hook; nullptr (the default) detaches. The injector's
+  // OnBinStart fires before each batch and its worker hook is threaded
+  // through the exec fan-out.
+  void SetFaultInjector(rt::FaultInjector* injector);
+  // Stamps the governor's stopwatch verdict onto the most recent bin; the
+  // fields are pure bookkeeping read by sinks/tests, never by shedding.
+  void MarkDeadline(bool missed, double overrun_us);
+
   // ---- Snapshot/restore ----------------------------------------------------
   // True when every query's measurement interval and the system's shared
   // interval are freshly reset — the only points where per-interval query
@@ -216,6 +243,10 @@ class MonitoringSystem {
   void RunPredictive(const trace::Batch& batch, BinLog& log);
   void RunReactive(const trace::Batch& batch, BinLog& log);
   void RunNoShed(const trace::Batch& batch, BinLog& log);
+  void RecordDroppedBin(const trace::Batch& batch, BinLog& log);
+  // Applies the active directive's boost/truncate rungs to a finished rate
+  // allocation, in place; shared by the predictive and reactive paths.
+  void ApplyDegradation(std::vector<double>& rate, std::vector<bool>& disabled);
 
   // What one query's execution inside a bin produced. Tasks run on workers
   // and only touch state owned by their query; everything order-sensitive is
@@ -312,6 +343,9 @@ class MonitoringSystem {
     obs::Gauge* prediction_error_ewma = nullptr;
     obs::Histogram* bin_utilization = nullptr;
     obs::Histogram* prediction_error_ratio = nullptr;
+    obs::Counter* rt_degraded_bins = nullptr;
+    obs::Counter* rt_dropped_bins = nullptr;
+    obs::Counter* rt_truncated_queries = nullptr;
   };
 
   void InitInstruments();
@@ -330,6 +364,8 @@ class MonitoringSystem {
   features::FeatureExtractor sys_extractor_;
   std::vector<std::unique_ptr<QueryRuntime>> queries_;
   util::Rng rng_;
+  rt::Directive degrade_;
+  rt::FaultInjector* injector_ = nullptr;
 
   double capacity_ = 0.0;
   double backlog_cycles_ = 0.0;

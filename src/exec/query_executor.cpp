@@ -5,6 +5,7 @@
 
 #include "src/exec/thread_pool.h"
 #include "src/obs/metrics.h"
+#include "src/rt/fault.h"
 
 namespace shedmon::exec {
 
@@ -36,8 +37,17 @@ std::vector<ShardRange> QueryExecutor::SplitUnits(size_t units, size_t shards) {
   return ranges;
 }
 
-void QueryExecutor::Run(size_t n, const std::function<void(size_t)>& task,
+void QueryExecutor::Run(size_t n, const std::function<void(size_t)>& raw_task,
                         const std::function<void(size_t)>& merge) const {
+  std::function<void(size_t)> task = raw_task;
+  if (task && injector_ != nullptr) {
+    // The stall hits whichever thread runs the task — worker or the
+    // participating caller — exactly like a genuinely slow query would.
+    task = [this, raw_task](size_t i) {
+      injector_->OnWorkerTask(bin_index_);
+      raw_task(i);
+    };
+  }
   if (task) {
     if (pool_ != nullptr && n > 1) {
       // Grain 1: per-query costs are heterogeneous (Fig. 2.2 spans ~20x), so

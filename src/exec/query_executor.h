@@ -8,6 +8,10 @@ namespace shedmon::obs {
 class Histogram;
 }  // namespace shedmon::obs
 
+namespace shedmon::rt {
+class FaultInjector;
+}  // namespace shedmon::rt
+
 namespace shedmon::exec {
 
 class ThreadPool;
@@ -55,6 +59,13 @@ class QueryExecutor {
   // shard planning, so instrumented runs stay bit-identical.
   void SetMetrics(obs::Histogram* wave_seconds) { wave_seconds_ = wave_seconds; }
 
+  // Optional fault injection: when set, every task of every Run wave first
+  // passes through injector->OnWorkerTask(bin_index) — the hook for the
+  // fault plan's slow-worker stalls. Borrowed pointer; null disables. The
+  // coordinator advances the bin index between batches.
+  void SetFaultInjector(rt::FaultInjector* injector) { injector_ = injector; }
+  void SetBinIndex(size_t bin_index) { bin_index_ = bin_index; }
+
   // ---- Intra-query shard planning ----------------------------------------
   // How many shards to split one query's `units` of batch work into: capped
   // by the caller's `max_shards` budget, by the pool's execution contexts
@@ -76,6 +87,8 @@ class QueryExecutor {
  private:
   ThreadPool* pool_;
   obs::Histogram* wave_seconds_ = nullptr;
+  rt::FaultInjector* injector_ = nullptr;
+  size_t bin_index_ = 0;
 };
 
 }  // namespace shedmon::exec

@@ -11,11 +11,22 @@ namespace {
 constexpr uint64_t kMaxStringLen = 1 << 20;
 }  // namespace
 
+namespace {
+uint64_t Fnv1a(uint64_t sum, const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    sum = (sum ^ bytes[i]) * kSnapshotFnvPrime;
+  }
+  return sum;
+}
+}  // namespace
+
 void SnapshotWriter::Bytes(const void* data, size_t len) {
   out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
   if (!out_) {
     throw SnapshotError("snapshot: write failed");
   }
+  sum_ = Fnv1a(sum_, data, len);
 }
 
 void SnapshotWriter::Magic() {
@@ -58,11 +69,19 @@ void SnapshotWriter::RngState(const std::array<uint64_t, 4>& s) {
   }
 }
 
+void SnapshotWriter::Trailer() {
+  // Capture before the write: the trailer seals the stream, it is not part
+  // of the checksummed payload.
+  const uint64_t sum = sum_;
+  U64(sum);
+}
+
 void SnapshotReader::Bytes(void* data, size_t len) {
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
   if (static_cast<size_t>(in_.gcount()) != len) {
     throw SnapshotError("snapshot: truncated stream");
   }
+  sum_ = Fnv1a(sum_, data, len);
 }
 
 void SnapshotReader::Magic() {
@@ -127,6 +146,15 @@ std::array<uint64_t, 4> SnapshotReader::RngState() {
     word = U64();
   }
   return s;
+}
+
+void SnapshotReader::Trailer() {
+  const uint64_t expected = sum_;  // before the trailer folds itself in
+  const uint64_t stored = U64();
+  if (stored != expected) {
+    throw SnapshotError(
+        "snapshot: checksum mismatch — the stream is corrupt (bit flip or torn write)");
+  }
 }
 
 }  // namespace shedmon::obs

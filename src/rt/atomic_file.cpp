@@ -1,0 +1,57 @@
+#include "src/rt/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace shedmon::rt {
+namespace {
+
+[[noreturn]] void Fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    Fail("atomic write: cannot create", tmp);
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      Fail("atomic write: write failed for", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Without the fsync the rename can land on media before the data does,
+  // which is exactly the torn-checkpoint case this function exists to
+  // prevent.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    Fail("atomic write: fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    Fail("atomic write: close failed for", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    Fail("atomic write: rename failed onto", path);
+  }
+}
+
+}  // namespace shedmon::rt

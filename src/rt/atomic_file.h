@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace shedmon::rt {
+
+// Crash-safe whole-file write: the payload goes to a temp file next to
+// `path` (same filesystem, so the rename is atomic), is fsync'd to media,
+// and is then renamed over `path`. A crash at any point leaves either the
+// old file or the new file — never a torn mix — plus at worst a stray
+// `.tmp.<pid>` that the next successful write of the same path replaces.
+// Throws std::runtime_error (with errno text) on failure, after removing
+// the temp file.
+void WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+}  // namespace shedmon::rt

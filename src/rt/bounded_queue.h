@@ -1,0 +1,139 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace shedmon::rt {
+
+// What to do when an ingest buffer is full. Shared by the threaded
+// BoundedQueue below and by the synchronous bounded-ingest path inside
+// api::Pipeline (which bounds its open-bin record buffer with the same
+// three policies).
+enum class OverflowPolicy : uint8_t {
+  // Producer waits for space (backpressure). At the synchronous Pipeline
+  // facade this is equivalent to unbounded buffering: Push IS the
+  // processing thread, so it can never be ahead of the consumer.
+  kBlock = 0,
+  // The incoming item is discarded; the buffer keeps what it has.
+  kDropNewest = 1,
+  // The oldest buffered item is evicted to make room for the incoming one.
+  kDropOldest = 2,
+};
+
+// Fixed-capacity MPMC queue with overflow policies and drop accounting —
+// the primitive for a live capture front-end where a capture thread
+// produces and the pipeline coordinator consumes. Condvar-based: the
+// capture loop this feeds is bin-paced (100ms), not per-packet-latency
+// bound, so lock-free machinery would buy nothing here.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity, OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Returns false iff the item was dropped (kDropNewest on a full queue) or
+  // the queue is closed. kBlock waits; kDropOldest always succeeds by
+  // evicting the head.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+      return false;
+    }
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock:
+          not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+          if (closed_) {
+            return false;
+          }
+          break;
+        case OverflowPolicy::kDropNewest:
+          ++dropped_newest_;
+          return false;
+        case OverflowPolicy::kDropOldest:
+          items_.pop_front();
+          ++dropped_oldest_;
+          break;
+      }
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained;
+  // nullopt means closed-and-empty (consumer should exit).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking variant for poll loops.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes blocked producers and consumers; Push fails and Pop drains then
+  // returns nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  OverflowPolicy policy() const { return policy_; }
+  uint64_t dropped_newest() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_newest_;
+  }
+  uint64_t dropped_oldest() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_oldest_;
+  }
+
+ private:
+  const size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  uint64_t dropped_newest_ = 0;
+  uint64_t dropped_oldest_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace shedmon::rt

@@ -1,0 +1,22 @@
+#include "src/rt/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace shedmon::rt {
+
+uint64_t SystemClock::NowUs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void SystemClock::SleepUs(uint64_t us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+std::shared_ptr<Clock> DefaultClock() { return std::make_shared<SystemClock>(); }
+
+}  // namespace shedmon::rt

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace shedmon::rt {
+
+// Injectable wall-clock time source for everything real-time in src/rt: the
+// deadline governor stopwatches bins against it, retry backoff sleeps on it,
+// and fault injection advances it. Tests (and the deterministic robustness
+// suites) swap in a ManualClock so "this bin took 400 ms" is a statement the
+// test makes, not something it hopes the scheduler reproduces.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic microseconds. Only differences are meaningful; the epoch is
+  // implementation-defined.
+  virtual uint64_t NowUs() const = 0;
+
+  // Blocks the calling thread for (at least) `us` on real clocks; manual
+  // clocks advance instead, so injected stalls cost no test wall time.
+  virtual void SleepUs(uint64_t us) = 0;
+};
+
+// std::chrono::steady_clock: the production time source.
+class SystemClock final : public Clock {
+ public:
+  uint64_t NowUs() const override;
+  void SleepUs(uint64_t us) override;
+};
+
+// Test/fault-injection clock: time moves only when told to. Thread-safe —
+// injected worker-task stalls advance it from pool threads while the
+// coordinator reads it.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_us = 0) : now_us_(start_us) {}
+
+  uint64_t NowUs() const override { return now_us_.load(std::memory_order_relaxed); }
+  void SleepUs(uint64_t us) override { Advance(us); }
+  void Advance(uint64_t us) { now_us_.fetch_add(us, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_us_;
+};
+
+// The default production clock, shared so every rt component attached to one
+// pipeline observes the same timeline.
+std::shared_ptr<Clock> DefaultClock();
+
+}  // namespace shedmon::rt

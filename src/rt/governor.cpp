@@ -1,0 +1,113 @@
+#include "src/rt/governor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace shedmon::rt {
+
+DeadlineGovernor::DeadlineGovernor(GovernorConfig config, std::shared_ptr<Clock> clock)
+    : config_(config), clock_(std::move(clock)) {
+  if (config_.budget_fraction <= 0.0) {
+    config_.budget_fraction = 0.9;
+  }
+  if (config_.boost_factor <= 1.0) {
+    config_.boost_factor = 2.0;
+  }
+  if (config_.decay_bins < 1) {
+    config_.decay_bins = 1;
+  }
+}
+
+void DeadlineGovernor::Attach(obs::MetricsRegistry* metrics, obs::JsonlLogger* logger) {
+  metrics_ = metrics;
+  logger_ = logger;
+}
+
+Directive DeadlineGovernor::Begin() {
+  begin_us_ = clock_->NowUs();
+  Directive d;
+  switch (level_) {
+    case 0:
+      break;
+    case 1:
+      d.action = DegradeAction::kBoostShedding;
+      d.rate_scale = rate_scale_;
+      break;
+    case 2:
+      d.action = DegradeAction::kTruncate;
+      d.rate_scale = rate_scale_;
+      d.truncate_queries = 1;
+      break;
+    default:
+      d.action = DegradeAction::kDropBin;
+      d.rate_scale = rate_scale_;
+      break;
+  }
+  return d;
+}
+
+void DeadlineGovernor::End(uint64_t bin_duration_us, uint64_t bin_index) {
+  const uint64_t elapsed = clock_->NowUs() - begin_us_;
+  const double budget = config_.budget_fraction * static_cast<double>(bin_duration_us);
+  last_missed_ = static_cast<double>(elapsed) > budget;
+  last_overrun_us_ = last_missed_ ? static_cast<double>(elapsed) - budget : 0.0;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetHistogram("shedmon_rt_bin_wall_us", {1e3, 1e4, 5e4, 1e5, 5e5, 1e6}, {},
+                       "Wall-clock microseconds spent processing each bin")
+        .Observe(static_cast<double>(elapsed));
+  }
+  if (last_missed_) {
+    ++deadline_misses_;
+    Escalate(bin_index, last_overrun_us_);
+  } else if (level_ > 0 && ++clean_streak_ >= config_.decay_bins) {
+    Decay(bin_index);
+  }
+}
+
+void DeadlineGovernor::Escalate(uint64_t bin_index, double overrun_us) {
+  clean_streak_ = 0;
+  if (level_ < 3) {
+    ++level_;
+  }
+  // Any escalation at or above the boost rung tightens the rate scale, so a
+  // persistent overrun keeps shedding harder instead of plateauing.
+  rate_scale_ = std::max(1e-3, rate_scale_ / config_.boost_factor);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("shedmon_rt_deadline_miss_total", {},
+                     "Bins whose wall-clock processing exceeded the real-time budget")
+        .Increment();
+    metrics_
+        ->GetGauge("shedmon_rt_degradation_level", {},
+                   "Current degradation ladder rung (0=none 1=boost 2=truncate 3=drop)")
+        .Set(level_);
+  }
+  if (logger_ != nullptr) {
+    logger_->Write(obs::LogEvent("rt_deadline_miss")
+                       .Int("bin", bin_index)
+                       .Num("overrun_us", overrun_us)
+                       .Int("level", static_cast<uint64_t>(level_))
+                       .Num("rate_scale", rate_scale_));
+  }
+}
+
+void DeadlineGovernor::Decay(uint64_t bin_index) {
+  clean_streak_ = 0;
+  --level_;
+  rate_scale_ = level_ > 0 ? std::min(1.0, rate_scale_ * config_.boost_factor) : 1.0;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetGauge("shedmon_rt_degradation_level", {},
+                   "Current degradation ladder rung (0=none 1=boost 2=truncate 3=drop)")
+        .Set(level_);
+  }
+  if (logger_ != nullptr) {
+    logger_->Write(obs::LogEvent("rt_degradation_decay")
+                       .Int("bin", bin_index)
+                       .Int("level", static_cast<uint64_t>(level_))
+                       .Num("rate_scale", rate_scale_));
+  }
+}
+
+}  // namespace shedmon::rt

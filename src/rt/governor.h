@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/rt/clock.h"
+
+namespace shedmon::rt {
+
+// Degradation ladder rungs, in escalation order. The numeric values are part
+// of the BinLog/CSV/JSONL contract (BinLog::degradation carries them), so
+// they are stable: 0 means "bin processed normally".
+enum class DegradeAction : uint8_t {
+  kNone = 0,
+  // Multiply the next bin's shedding down (sampling rates scaled by
+  // 1/boost_factor) so it finishes inside budget.
+  kBoostShedding = 1,
+  // Additionally disable non-mandatory queries for the next bin, lowest
+  // priority (= highest registration index) first.
+  kTruncate = 2,
+  // Give up on the bin entirely: it is accounted like a capture-buffer
+  // overflow (whole batch dropped, no query work).
+  kDropBin = 3,
+};
+
+// What the governor tells the system to do for the UPCOMING bin. Overruns on
+// bin N can only shape bin N+1 — bin N's work is already done by the time
+// the stopwatch is read — which also keeps no-overrun runs bit-identical to
+// a governor-less pipeline.
+struct Directive {
+  DegradeAction action = DegradeAction::kNone;
+  // Sampling-rate multiplier in (0, 1]; 1.0 when not boosting.
+  double rate_scale = 1.0;
+  // Number of lowest-priority queries to disable; 0 unless truncating.
+  int truncate_queries = 0;
+};
+
+struct GovernorConfig {
+  // Per-bin wall-clock budget as a fraction of the bin duration. A 100ms bin
+  // with fraction 0.9 must finish in 90ms of wall time.
+  double budget_fraction = 0.9;
+  // Rate divisor applied per kBoostShedding escalation (rates scale by
+  // 1/boost_factor, compounding while overruns persist).
+  double boost_factor = 2.0;
+  // Consecutive in-budget bins required before stepping one rung back down.
+  int decay_bins = 2;
+};
+
+// Wall-clock deadline enforcement for the per-bin processing loop. Usage,
+// from the pipeline coordinator around each bin:
+//
+//   Directive d = governor.Begin();      // apply d to this bin, start clock
+//   ... process bin (or drop it, if d.action == kDropBin) ...
+//   governor.End(bin_duration_us);       // stopwatch vs budget, escalate/decay
+//
+// The ladder escalates one rung per overrun (kBoostShedding additionally
+// compounds its rate scale while already boosting) and decays one rung after
+// `decay_bins` consecutive clean bins. Deterministic given a deterministic
+// Clock: the whole robustness suite drives it with a ManualClock.
+class DeadlineGovernor {
+ public:
+  DeadlineGovernor(GovernorConfig config, std::shared_ptr<Clock> clock);
+
+  // Optional: record escalations as shedmon_rt_* metrics / JSONL events.
+  // Pass nullptr to detach. Pointers must outlive the governor.
+  void Attach(obs::MetricsRegistry* metrics, obs::JsonlLogger* logger);
+
+  // Directive for the bin about to be processed; starts its stopwatch.
+  Directive Begin();
+
+  // Stop the stopwatch for the bin started by the last Begin() and update
+  // the ladder. `bin_duration_us` is the bin's span in trace time (the
+  // budget base), `bin_index` labels log events.
+  void End(uint64_t bin_duration_us, uint64_t bin_index);
+
+  // Observability for the bin just ended.
+  bool last_deadline_missed() const { return last_missed_; }
+  double last_overrun_us() const { return last_overrun_us_; }
+  int level() const { return level_; }
+  uint64_t deadline_misses() const { return deadline_misses_; }
+
+  const GovernorConfig& config() const { return config_; }
+
+ private:
+  void Escalate(uint64_t bin_index, double overrun_us);
+  void Decay(uint64_t bin_index);
+
+  GovernorConfig config_;
+  std::shared_ptr<Clock> clock_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::JsonlLogger* logger_ = nullptr;
+
+  int level_ = 0;           // current rung: 0 = kNone .. 3 = kDropBin
+  double rate_scale_ = 1.0;  // compounded boost, 1.0 at level 0
+  int clean_streak_ = 0;
+  uint64_t begin_us_ = 0;
+  bool last_missed_ = false;
+  double last_overrun_us_ = 0.0;
+  uint64_t deadline_misses_ = 0;
+};
+
+}  // namespace shedmon::rt

@@ -1,0 +1,119 @@
+#include "src/rt/resilient.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/rng.h"
+
+namespace shedmon::rt {
+
+ResilientWriter::ResilientWriter(std::ostream& out, RetryPolicy policy,
+                                 std::shared_ptr<Clock> clock)
+    : out_(out), policy_(policy), clock_(std::move(clock)) {
+  if (policy_.max_retries < 0) {
+    policy_.max_retries = 0;
+  }
+}
+
+void ResilientWriter::Attach(obs::MetricsRegistry* metrics, obs::JsonlLogger* logger,
+                             std::string sink_name) {
+  metrics_ = metrics;
+  logger_ = logger;
+  sink_name_ = std::move(sink_name);
+}
+
+bool ResilientWriter::Write(std::string_view data) {
+  if (quarantined_) {
+    ++dropped_writes_;
+    return false;
+  }
+  size_t offset = 0;
+  if (Attempt(data, offset)) {
+    return true;
+  }
+  for (int retry = 1; retry <= policy_.max_retries; ++retry) {
+    clock_->SleepUs(BackoffUs(retry));
+    ++retries_;
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter("shedmon_rt_sink_retries_total", {{"sink", sink_name_}},
+                       "Sink write attempts retried after an I/O failure")
+          .Increment();
+    }
+    if (Attempt(data, offset)) {
+      return true;
+    }
+  }
+  EnterQuarantine();
+  ++dropped_writes_;
+  return false;
+}
+
+bool ResilientWriter::Attempt(std::string_view data, size_t& offset) {
+  ++attempt_counter_;
+  const SinkFault fault =
+      injector_ != nullptr ? injector_->NextSinkWriteFault() : SinkFault::kNone;
+  if (fault == SinkFault::kEio) {
+    return false;
+  }
+  std::string_view rest = data.substr(offset);
+  if (fault == SinkFault::kShortWrite && rest.size() > 1) {
+    // Half the remaining bytes land, then the device "fails"; the retry
+    // resumes from the new offset so no byte is ever duplicated.
+    rest = rest.substr(0, rest.size() / 2);
+    out_.write(rest.data(), static_cast<std::streamsize>(rest.size()));
+    if (out_.good()) {
+      offset += rest.size();
+    } else {
+      out_.clear();
+    }
+    return false;
+  }
+  out_.write(rest.data(), static_cast<std::streamsize>(rest.size()));
+  if (!out_.good()) {
+    out_.clear();
+    return false;
+  }
+  offset = data.size();
+  return true;
+}
+
+uint64_t ResilientWriter::BackoffUs(int attempt) {
+  uint64_t backoff = policy_.initial_backoff_us;
+  for (int i = 1; i < attempt && backoff < policy_.max_backoff_us; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, policy_.max_backoff_us);
+  if (policy_.jitter_fraction > 0.0) {
+    const uint64_t h = util::HashU64(policy_.jitter_seed ^ attempt_counter_);
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    backoff += static_cast<uint64_t>(static_cast<double>(backoff) * policy_.jitter_fraction * unit);
+  }
+  return backoff;
+}
+
+void ResilientWriter::EnterQuarantine() {
+  quarantined_ = true;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("shedmon_rt_sink_quarantined_total", {{"sink", sink_name_}},
+                     "Sinks placed in degraded mode after exhausting write retries")
+        .Increment();
+  }
+  if (logger_ != nullptr) {
+    logger_->Write(obs::LogEvent("rt_sink_quarantined")
+                       .Str("sink", sink_name_)
+                       .Int("retries", retries_));
+  }
+}
+
+void ResilientWriter::Flush() {
+  if (!quarantined_) {
+    out_.flush();
+    if (!out_.good()) {
+      out_.clear();
+    }
+  }
+}
+
+}  // namespace shedmon::rt

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/rt/clock.h"
+#include "src/rt/fault.h"
+
+namespace shedmon::rt {
+
+struct RetryPolicy {
+  // Attempts per write beyond the first; exhausting them quarantines the
+  // writer.
+  int max_retries = 3;
+  uint64_t initial_backoff_us = 1000;
+  uint64_t max_backoff_us = 100000;
+  // Uniform jitter added on top of the exponential backoff, as a fraction
+  // of the backoff (decorrelates retry storms across sinks). Jitter draws
+  // are hashed from (seed, attempt counter), not a stateful RNG, so
+  // concurrent writers stay deterministic.
+  double jitter_fraction = 0.25;
+  uint64_t jitter_seed = 1;
+};
+
+// Write-through wrapper that makes a sink stream survive transient I/O
+// failures: each Write retries with exponential backoff + jitter, resuming
+// from the first unwritten byte after a short write. When one record
+// exhausts its retries the writer enters QUARANTINE: the sink is declared
+// degraded, subsequent writes are counted and discarded instead of failing
+// the run, and the event is recorded in shedmon_rt_* metrics/JSONL. The
+// monitoring pipeline keeps running — losing a results file is strictly
+// better than losing the measurement.
+class ResilientWriter {
+ public:
+  ResilientWriter(std::ostream& out, RetryPolicy policy, std::shared_ptr<Clock> clock);
+
+  // Optional fault-injection hook; nullptr detaches. Injected faults are
+  // consulted per attempt, before touching the real stream.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  // Optional shedmon_rt_* metrics + JSONL events. `sink_name` labels them.
+  void Attach(obs::MetricsRegistry* metrics, obs::JsonlLogger* logger, std::string sink_name);
+
+  // True if all bytes landed; false if the record was discarded (already
+  // quarantined, or this record triggered quarantine).
+  bool Write(std::string_view data);
+
+  void Flush();
+
+  bool quarantined() const { return quarantined_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t dropped_writes() const { return dropped_writes_; }
+
+ private:
+  // One physical attempt at data[offset:]; advances offset. Returns true
+  // when everything through the end of data has landed.
+  bool Attempt(std::string_view data, size_t& offset);
+  void EnterQuarantine();
+  uint64_t BackoffUs(int attempt);
+
+  std::ostream& out_;
+  RetryPolicy policy_;
+  std::shared_ptr<Clock> clock_;
+  FaultInjector* injector_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::JsonlLogger* logger_ = nullptr;
+  std::string sink_name_;
+  uint64_t attempt_counter_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t dropped_writes_ = 0;
+  bool quarantined_ = false;
+};
+
+}  // namespace shedmon::rt

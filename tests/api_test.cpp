@@ -5,6 +5,7 @@
 // coordinator thread at any thread count, and the CSV/JSONL sinks.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -94,6 +95,9 @@ void ExpectBinLogsIdentical(const std::vector<core::BinLog>& golden,
     EXPECT_EQ(g.rate, a.rate);
     EXPECT_EQ(g.per_query_cycles, a.per_query_cycles);
     EXPECT_EQ(g.disabled, a.disabled);
+    EXPECT_EQ(g.degradation, a.degradation);
+    EXPECT_EQ(g.deadline_missed, a.deadline_missed);
+    EXPECT_EQ(g.deadline_overrun_us, a.deadline_overrun_us);
   }
 }
 
@@ -1039,6 +1043,49 @@ TEST(PipelineSnapshot, RejectsMidBinMidIntervalAndNonStandardQueries) {
 
   std::istringstream garbage("not a snapshot");
   EXPECT_THROW(api::PipelineBuilder::Restore(garbage), obs::SnapshotError);
+}
+
+// The v2 checksum trailer: a snapshot that lost its tail or took a bit flip
+// anywhere in the payload must be rejected with SnapshotError, never
+// restored into a silently-wrong pipeline.
+TEST(PipelineSnapshot, RejectsTruncatedAndBitFlippedSnapshots) {
+  auto pipeline = api::PipelineBuilder().AddQuery("counter").AddQuery("flows").BuildUnique();
+  std::stringstream good;
+  pipeline->Snapshot(good);
+  const std::string bytes = good.str();
+  ASSERT_GT(bytes.size(), 64u);
+
+  {
+    std::istringstream intact(bytes);
+    EXPECT_NO_THROW(api::PipelineBuilder::Restore(intact));
+  }
+  for (const size_t keep : {bytes.size() - 1, bytes.size() - 8, bytes.size() / 2}) {
+    SCOPED_TRACE("truncated to " + std::to_string(keep) + " bytes");
+    std::istringstream truncated(bytes.substr(0, keep));
+    EXPECT_THROW(api::PipelineBuilder::Restore(truncated), obs::SnapshotError);
+  }
+  // Flip one bit at several payload positions (past the magic, whose own
+  // check fires first and is already covered above).
+  for (const size_t pos : {size_t{16}, bytes.size() / 2, bytes.size() - 9}) {
+    SCOPED_TRACE("bit flip at byte " + std::to_string(pos));
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x01);
+    std::istringstream in(flipped);
+    EXPECT_THROW(api::PipelineBuilder::Restore(in), obs::SnapshotError);
+  }
+}
+
+// Path-based snapshots publish via write-to-temp + fsync + atomic rename:
+// the final file is complete and restorable, and no temp litter survives.
+TEST(PipelineSnapshot, PathSnapshotIsAtomicAndRestorable) {
+  const std::string path = ::testing::TempDir() + "shedmon_snapshot_atomic.bin";
+  auto pipeline = api::PipelineBuilder().AddQuery("counter").BuildUnique();
+  pipeline->Snapshot(path);
+
+  auto restored = api::PipelineBuilder::Restore(path);
+  EXPECT_EQ(restored->num_queries(), 1u);
+  EXPECT_FALSE(std::ifstream(path + ".tmp." + std::to_string(::getpid())).good());
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

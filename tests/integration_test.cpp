@@ -169,22 +169,37 @@ TEST(Integration, MeasuredOracleSmokeTest) {
   spec_t.seed = 202;
   const auto t = trace::TraceGenerator(spec_t).Generate();
   const std::vector<std::string> names = {"pattern-search", "p2p-detector", "counter"};
-  const double demand = MeasureMeanDemand(names, t, OracleKind::kMeasured);
-  ASSERT_GT(demand, 0.0);
 
-  RunSpec spec;
-  spec.system.shedder = ShedderKind::kPredictive;
-  spec.system.cycles_per_bin = 0.6 * demand;
-  spec.oracle = OracleKind::kMeasured;
-  spec.query_names = names;
-  spec.use_default_min_rates = false;
-  auto result = RunSystemOnTrace(spec, t);
-  EXPECT_EQ(result.system->log().size(), 40u);
   // Real measurement is noisy; require the pipeline to remain sane: the
   // budget is 60% of demand, so average accuracy well above that of a
-  // collapsed system (~0) and bounded drops.
-  EXPECT_GT(result.AverageAccuracy(), 0.4);
-  EXPECT_LT(result.system->total_dropped(), result.system->total_packets() / 4);
+  // collapsed system (~0) and bounded drops. Even with RUN_SERIAL the rdtsc
+  // readings are at the mercy of the host (CI neighbors, frequency steps),
+  // so the sanity bar gets a bounded number of attempts: scheduler noise
+  // clears it on a retry, a genuine regression fails every attempt.
+  constexpr int kAttempts = 3;
+  bool sane = false;
+  double accuracy = 0.0;
+  uint64_t dropped = 0;
+  uint64_t packets = 0;
+  for (int attempt = 0; attempt < kAttempts && !sane; ++attempt) {
+    const double demand = MeasureMeanDemand(names, t, OracleKind::kMeasured);
+    ASSERT_GT(demand, 0.0);
+
+    RunSpec spec;
+    spec.system.shedder = ShedderKind::kPredictive;
+    spec.system.cycles_per_bin = 0.6 * demand;
+    spec.oracle = OracleKind::kMeasured;
+    spec.query_names = names;
+    spec.use_default_min_rates = false;
+    auto result = RunSystemOnTrace(spec, t);
+    ASSERT_EQ(result.system->log().size(), 40u);
+    accuracy = result.AverageAccuracy();
+    dropped = result.system->total_dropped();
+    packets = result.system->total_packets();
+    sane = accuracy > 0.4 && dropped < packets / 4;
+  }
+  EXPECT_TRUE(sane) << "accuracy " << accuracy << ", dropped " << dropped << "/" << packets
+                    << " after " << kAttempts << " attempts";
 }
 
 // Long-run stability: prediction error EWMA keeps the system inside its

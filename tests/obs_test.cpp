@@ -278,5 +278,48 @@ TEST(Snapshot, BadMagicAndTruncationThrow) {
   }
 }
 
+// The v2 checksum trailer: both sides fold every byte into a running FNV-1a
+// sum; the reader's Trailer() accepts an intact stream and rejects any
+// payload corruption the primitive reads themselves would miss.
+TEST(Snapshot, TrailerAcceptsIntactStreamAndRejectsCorruption) {
+  std::stringstream stream;
+  SnapshotWriter writer(stream);
+  writer.Magic();
+  writer.U64(12345);
+  writer.Str("payload");
+  writer.Trailer();
+  const std::string bytes = stream.str();
+
+  {
+    std::istringstream in(bytes);
+    SnapshotReader reader(in);
+    reader.Magic();
+    EXPECT_EQ(reader.U64(), 12345u);
+    EXPECT_EQ(reader.Str(), "payload");
+    EXPECT_NO_THROW(reader.Trailer());
+  }
+  // A bit flip in the payload keeps every field readable — 12345 becomes
+  // another valid u64 — but the trailer catches it.
+  {
+    std::string flipped = bytes;
+    flipped[13] = static_cast<char>(flipped[13] ^ 0x40);  // inside the U64
+    std::istringstream in(flipped);
+    SnapshotReader reader(in);
+    reader.Magic();
+    (void)reader.U64();
+    (void)reader.Str();
+    EXPECT_THROW(reader.Trailer(), SnapshotError);
+  }
+  // A truncated trailer reads as a short stream.
+  {
+    std::istringstream in(bytes.substr(0, bytes.size() - 3));
+    SnapshotReader reader(in);
+    reader.Magic();
+    (void)reader.U64();
+    (void)reader.Str();
+    EXPECT_THROW(reader.Trailer(), SnapshotError);
+  }
+}
+
 }  // namespace
 }  // namespace shedmon::obs

@@ -25,6 +25,8 @@
 #include "src/api/sinks.h"
 #include "src/obs/prometheus.h"
 #include "src/core/runner.h"
+#include "src/rt/fault.h"
+#include "src/rt/resilient.h"
 #include "src/query/queries.h"
 #include "src/trace/anomaly.h"
 #include "src/trace/generator.h"
@@ -133,6 +135,9 @@ int Usage() {
       "              [--oracle model|measured] [--bin-us N] [--threads N]\n"
       "              [--shards N] [--csv FILE] [--jsonl FILE]\n"
       "              [--config FILE] [--metrics-out FILE]\n"
+      "              [--deadline F] [--ingest-cap N] [--ingest-policy P]\n"
+      "              [--fault-plan SPEC] [--sink-retries N]\n"
+      "              [--checkpoint FILE] [--checkpoint-every N] [--restore]\n"
       "  queries     (list available queries and their default min rates)\n"
       "\n"
       "run flags:\n"
@@ -140,7 +145,19 @@ int Usage() {
       "                      roster, sinks); other flags override the file\n"
       "  --metrics-out FILE  dump the metrics registry in Prometheus text\n"
       "                      format at end of run, and whenever the process\n"
-      "                      receives SIGUSR1 mid-run\n");
+      "                      receives SIGUSR1 mid-run\n"
+      "  --deadline F        enforce a wall-clock budget of F x the bin\n"
+      "                      duration per bin; overruns climb a degradation\n"
+      "                      ladder (boost shedding, truncate, drop bin)\n"
+      "  --ingest-cap N      bound the open bin at N records; --ingest-policy\n"
+      "                      is block, drop-newest (default) or drop-oldest\n"
+      "  --fault-plan SPEC   deterministic fault injection, e.g.\n"
+      "                      'seed=7,stall_bin=3:80000,sink_fail_n=2'\n"
+      "  --sink-retries N    retry failed CSV/JSONL sink writes up to N times\n"
+      "                      (with backoff), then quarantine the sink\n"
+      "  --checkpoint FILE   write a crash-safe snapshot (tmp+fsync+rename)\n"
+      "                      every --checkpoint-every bins (default: one\n"
+      "                      measurement interval); --restore resumes from it\n");
   return 2;
 }
 
@@ -324,25 +341,87 @@ int CmdRun(const Flags& flags) {
     builder.CyclesPerBin(capacity);
   }
 
-  auto pipeline = builder.BuildUnique();
+  // Sinks go through the builder so the rt layer (retry/quarantine) can wrap
+  // them when --sink-retries is passed.
   if (flags.Has("csv")) {
-    pipeline->AddObserver(std::make_unique<CsvBinSink>(flags.Get("csv")));
+    builder.CsvTo(flags.Get("csv"));
   }
   if (flags.Has("jsonl")) {
-    pipeline->AddObserver(std::make_unique<JsonlBinSink>(flags.Get("jsonl")));
+    builder.JsonlTo(flags.Get("jsonl"));
+  }
+
+  // Overload-protection knobs (src/rt).
+  if (flags.Has("deadline")) {
+    builder.Deadline(flags.GetDouble("deadline", 0.9));
+  }
+  if (flags.Has("ingest-cap")) {
+    const std::string policy = flags.Get("ingest-policy", "drop-newest");
+    builder.IngestCap(flags.GetU64("ingest-cap", 0),
+                      policy == "block"         ? rt::OverflowPolicy::kBlock
+                      : policy == "drop-oldest" ? rt::OverflowPolicy::kDropOldest
+                                                : rt::OverflowPolicy::kDropNewest);
+  }
+  if (flags.Has("fault-plan")) {
+    builder.InjectFaults(rt::FaultPlan::Parse(flags.Get("fault-plan")));
+  }
+  if (flags.Has("sink-retries")) {
+    rt::RetryPolicy retry;
+    retry.max_retries = static_cast<size_t>(flags.GetU64("sink-retries", retry.max_retries));
+    builder.SinkRetry(retry);
+  }
+  if (flags.Has("checkpoint")) {
+    builder.CheckpointTo(flags.Get("checkpoint"));
+    if (flags.Has("checkpoint-every")) {
+      builder.CheckpointEvery(flags.GetU64("checkpoint-every", 0));
+    }
+  }
+
+  std::unique_ptr<Pipeline> pipeline;
+  uint64_t resume_us = 0;
+  if (flags.Has("restore") && flags.Has("checkpoint")) {
+    pipeline = builder.RestoreOrBuild(flags.Get("checkpoint"));
+    if (pipeline->next_bin() > 0) {
+      resume_us = pipeline->next_bin() * pipeline->time_bin_us();
+      std::fprintf(stderr, "run: restored %s, resuming at bin %llu (t=%.1f s)\n",
+                   flags.Get("checkpoint").c_str(),
+                   static_cast<unsigned long long>(pipeline->next_bin()),
+                   static_cast<double>(resume_us) * 1e-6);
+      // Builder sinks only attach on fresh builds; re-add them so the
+      // resumed run keeps streaming rows (without the rt retry wrapper).
+      if (flags.Has("csv")) {
+        pipeline->AddObserver(std::make_unique<CsvBinSink>(flags.Get("csv")));
+      }
+      if (flags.Has("jsonl")) {
+        pipeline->AddObserver(std::make_unique<JsonlBinSink>(flags.Get("jsonl")));
+      }
+    }
+  } else {
+    pipeline = builder.BuildUnique();
   }
 
   const std::string metrics_out = flags.Get("metrics-out");
   if (!metrics_out.empty()) {
+    // Async-signal-safety: the handler only stores to a volatile
+    // sig_atomic_t — no stdio, allocation or locks run in signal context;
+    // the dump itself happens on the main loop between Push calls.
+    // SA_RESTART keeps trace-file reads transparent to the interruption.
     struct sigaction action = {};
+    sigemptyset(&action.sa_mask);
     action.sa_handler = RequestMetricsDump;
+    action.sa_flags = SA_RESTART;
     sigaction(SIGUSR1, &action, nullptr);
   }
 
   std::printf("running %zu queries at overload K=%.2f (capacity %.3g cycles/bin, %s)\n\n",
               queries.size(), k, capacity,
               oracle == core::OracleKind::kMeasured ? "measured cycles" : "model cycles");
+  // Progress marker for wrappers (stdout is block-buffered when piped): the
+  // banner doubles as "the SIGUSR1 handler is installed, the run is live".
+  std::fflush(stdout);
   for (const net::PacketRecord& packet : t.packets) {
+    if (packet.ts_us < resume_us) {
+      continue;  // bins the restored checkpoint already covers
+    }
     if (g_metrics_dump_requested != 0 && !metrics_out.empty()) {
       g_metrics_dump_requested = 0;
       DumpMetrics(*pipeline, metrics_out);
@@ -381,6 +460,15 @@ int CmdRun(const Flags& flags) {
               static_cast<unsigned long long>(pipeline->total_dropped()),
               100.0 * static_cast<double>(pipeline->total_dropped()) /
                   std::max<double>(1.0, static_cast<double>(pipeline->total_packets())));
+  if (flags.Has("deadline") || flags.Has("ingest-cap") || flags.Has("checkpoint")) {
+    const api::PipelineStats stats = pipeline->Stats();
+    std::printf(
+        "rt: %llu deadline misses, degradation level %d, %llu ingest drops, "
+        "%llu checkpoints\n",
+        static_cast<unsigned long long>(stats.deadline_misses), stats.degradation_level,
+        static_cast<unsigned long long>(stats.ingest_dropped),
+        static_cast<unsigned long long>(stats.checkpoints));
+  }
   if (flags.Has("csv")) {
     std::printf("per-bin log written to %s\n", flags.Get("csv").c_str());
   }
