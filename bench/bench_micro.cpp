@@ -17,6 +17,7 @@
 
 #include "src/core/cost.h"
 #include "src/core/system.h"
+#include "src/obs/trace.h"
 #include "src/features/extractor.h"
 #include "src/predict/fcbf.h"
 #include "src/predict/predictors.h"
@@ -299,6 +300,33 @@ void BM_PipelinePackets(benchmark::State& state) {
                           static_cast<int64_t>(trace.packets.size()));
 }
 BENCHMARK(BM_PipelinePackets)->Unit(benchmark::kMillisecond);
+
+// Same workload with the span tracer armed on every stage: the paired gate
+// in tools/compare_bench.py holds this within 5% of BM_PipelinePackets, the
+// budget the lock-free per-thread rings are designed to.
+void BM_PipelinePacketsTraced(benchmark::State& state) {
+  const trace::Trace& trace = SharedTrace();
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    core::MonitoringSystem system(cfg, core::MakeOracle(core::OracleKind::kModel));
+    obs::Tracer tracer;
+    tracer.AttachMetrics(&system.metrics());
+    system.SetTracer(&tracer);
+    system.AddQuery(query::MakeQuery("counter"));
+    system.AddQuery(query::MakeQuery("flows"));
+    trace::Batcher batcher(trace, cfg.time_bin_us);
+    trace::Batch batch;
+    while (batcher.Next(batch)) {
+      system.ProcessBatch(batch);
+    }
+    system.Finish();
+    benchmark::DoNotOptimize(system.total_packets());
+    benchmark::DoNotOptimize(tracer.dropped());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.packets.size()));
+}
+BENCHMARK(BM_PipelinePacketsTraced)->Unit(benchmark::kMillisecond);
 
 // Fourteen-query workload for BM_PipelinePacketsThreads: the standard mix
 // plus duplicate instances, the shape of a CoMo box loaded with many user

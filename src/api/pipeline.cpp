@@ -9,6 +9,7 @@
 #include "src/api/sinks.h"
 #include "src/core/runner.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/prometheus.h"
 #include "src/obs/snapshot.h"
 #include "src/query/queries.h"
 #include "src/rt/atomic_file.h"
@@ -204,6 +205,26 @@ PipelineBuilder& PipelineBuilder::SinkRetry(const rt::RetryPolicy& policy) {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::Tracing(bool enable) {
+  tracing_ = enable;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::ServeOn(uint16_t port) {
+  serve_enabled_ = true;
+  serve_port_ = port;
+  return *this;
+}
+
+void PipelineBuilder::ApplyObsOptions(Pipeline& pipeline) const {
+  if (tracing_) {
+    pipeline.EnableTracing();
+  }
+  if (serve_enabled_) {
+    pipeline.ServeOn(serve_port_);
+  }
+}
+
 void PipelineBuilder::ApplyRtOptions(Pipeline& pipeline) const {
   if (clock_ != nullptr) {
     pipeline.clock_ = clock_;
@@ -238,9 +259,10 @@ std::unique_ptr<Pipeline> PipelineBuilder::RestoreOrBuild(const std::string& pat
     }
   }
   if (pipeline == nullptr) {
-    return BuildUnique();  // the Pipeline ctor applies the rt options
+    return BuildUnique();  // the Pipeline ctor applies the rt/obs options
   }
   ApplyRtOptions(*pipeline);
+  ApplyObsOptions(*pipeline);
   return pipeline;
 }
 
@@ -362,6 +384,7 @@ Pipeline::Pipeline(const core::SystemConfig& config, core::OracleKind oracle_kin
     throw ConfigError("Pipeline: time_bin_us must be positive");
   }
   system_ = std::make_unique<core::MonitoringSystem>(config, core::MakeOracle(oracle_kind));
+  RefreshStats();
 }
 
 Pipeline::Pipeline(const PipelineBuilder& builder)
@@ -388,6 +411,8 @@ Pipeline::Pipeline(const PipelineBuilder& builder)
     SetLogger(std::make_unique<obs::JsonlLogger>(builder.log_path_));
   }
   builder.ApplyRtOptions(*this);
+  builder.ApplyObsOptions(*this);
+  RefreshStats();
 }
 
 Pipeline::~Pipeline() = default;
@@ -452,6 +477,7 @@ QueryHandle Pipeline::Register(const core::QueryConfig& config,
                        .Int("bin", open_bin_)
                        .Num("min_sampling_rate", config.min_sampling_rate));
   }
+  RefreshStats();
   return QueryHandle(this, slots_.back().id);
 }
 
@@ -470,6 +496,7 @@ DetachedQuery Pipeline::Detach(QueryHandle handle) {
                        .Str("query", detached.query->name())
                        .Int("bin", open_bin_));
   }
+  RefreshStats();
   return detached;
 }
 
@@ -594,17 +621,27 @@ void Pipeline::CloseOpenBin() {
   // Deadline bracket: the directive shaped by bin N-1's overrun applies to
   // this bin, and this bin's wall-clock verdict shapes bin N+1 — never the
   // bin being measured, so deadline-clean runs stay bit-identical.
-  if (governor_ != nullptr) {
-    system_->SetDegradation(governor_->Begin());
+  {
+    const uint32_t bin = static_cast<uint32_t>(open_bin_);
+    obs::Span bin_span(tracer_.get(), obs::Stage::kBinClose, bin);
+    if (governor_ != nullptr) {
+      system_->SetDegradation(governor_->Begin());
+    }
+    system_->ProcessBatch(batch_);
+    UpdateTallies(system_->log().back());
+    {
+      obs::Span ref_span(tracer_.get(), obs::Stage::kReference, bin);
+      RunReferences();
+    }
+    if (governor_ != nullptr) {
+      governor_->End(bin_us_, open_bin_);
+      system_->MarkDeadline(governor_->last_deadline_missed(), governor_->last_overrun_us());
+    }
+    {
+      obs::Span sink_span(tracer_.get(), obs::Stage::kSink, bin);
+      NotifyObservers();
+    }
   }
-  system_->ProcessBatch(batch_);
-  UpdateTallies(system_->log().back());
-  RunReferences();
-  if (governor_ != nullptr) {
-    governor_->End(bin_us_, open_bin_);
-    system_->MarkDeadline(governor_->last_deadline_missed(), governor_->last_overrun_us());
-  }
-  NotifyObservers();
 
   batch_.packets.clear();
   records_.clear();
@@ -615,6 +652,7 @@ void Pipeline::CloseOpenBin() {
   ++bins_processed_;
   ++open_bin_;
   MaybeCheckpoint();
+  RefreshStats();
 }
 
 void Pipeline::RunReferences() {
@@ -688,6 +726,7 @@ void Pipeline::Finish() {
                        .Int("dropped", system_->total_dropped()));
     logger_->Flush();
   }
+  RefreshStats();
 }
 
 void Pipeline::UpdateTallies(const core::BinLog& log) {
@@ -716,6 +755,11 @@ void Pipeline::UpdateTallies(const core::BinLog& log) {
 }
 
 PipelineStats Pipeline::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return published_stats_;
+}
+
+PipelineStats Pipeline::ComputeStats() const {
   PipelineStats stats;
   stats.bins = bins_processed_;
   stats.queries = system_->num_queries();
@@ -734,6 +778,17 @@ PipelineStats Pipeline::Stats() const {
   stats.degradation_level = governor_ != nullptr ? governor_->level() : 0;
   stats.checkpoints = checkpoints_written_;
   return stats;
+}
+
+void Pipeline::RefreshStats() {
+  PipelineStats stats = ComputeStats();
+  size_t quarantined = 0;
+  for (ResilientSinkBase* sink : rt_sinks_) {
+    quarantined += sink->quarantined() ? 1 : 0;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  published_stats_ = stats;
+  published_quarantined_sinks_ = quarantined;
 }
 
 void Pipeline::SetLogger(std::unique_ptr<obs::JsonlLogger> logger) {
@@ -756,6 +811,7 @@ void Pipeline::SetDeadline(const rt::GovernorConfig& config) {
   }
   governor_ = std::make_unique<rt::DeadlineGovernor>(config, clock_);
   governor_->Attach(&system_->metrics(), logger_.get());
+  governor_->SetTracer(tracer_.get());
 }
 
 void Pipeline::ClearDeadline() {
@@ -819,6 +875,7 @@ void Pipeline::MaybeCheckpoint() {
     return;
   }
   try {
+    obs::Span span(tracer_.get(), obs::Stage::kCheckpoint, static_cast<uint32_t>(open_bin_));
     std::ostringstream buf(std::ios::binary);
     Snapshot(buf);
     std::string bytes = buf.str();
@@ -884,6 +941,9 @@ std::unique_ptr<core::MonitoringSystem> Pipeline::ReleaseSystem() {
   if (!finished_) {
     throw std::logic_error("Pipeline::ReleaseSystem: call Finish() first");
   }
+  // The HTTP handler dereferences system_ (metrics snapshots); join the
+  // accept thread before the system leaves this pipeline.
+  server_.reset();
   return std::move(system_);
 }
 
@@ -897,6 +957,158 @@ std::vector<std::unique_ptr<query::Query>> Pipeline::ReleaseReferences() {
     references.push_back(std::move(slot.reference));
   }
   return references;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing & HTTP endpoint
+// ---------------------------------------------------------------------------
+
+obs::Tracer& Pipeline::EnableTracing() {
+  if (tracer_ == nullptr) {
+    tracer_ = std::make_unique<obs::Tracer>();
+    tracer_->AttachMetrics(&system_->metrics());
+    system_->SetTracer(tracer_.get());
+    if (governor_ != nullptr) {
+      governor_->SetTracer(tracer_.get());
+    }
+    // Published last: once the HTTP thread can see the tracer, it is fully
+    // attached and safe to snapshot.
+    tracer_view_.store(tracer_.get(), std::memory_order_release);
+  }
+  return *tracer_;
+}
+
+void Pipeline::DumpTrace(const std::string& path) const {
+  if (tracer_ == nullptr) {
+    throw std::logic_error("Pipeline::DumpTrace: tracing is not enabled");
+  }
+  if (!tracer_->WriteChromeTrace(path)) {
+    throw std::runtime_error("Pipeline::DumpTrace: cannot write '" + path + "'");
+  }
+}
+
+uint16_t Pipeline::ServeOn(uint16_t port) {
+  server_.reset();  // rebinding replaces any previous endpoint
+  RefreshStats();   // the handler must see valid stats before the first bin
+  try {
+    server_ = std::make_unique<obs::ObsServer>(
+        port, [this](const std::string& path) { return HandleHttp(path); });
+  } catch (const std::runtime_error& e) {
+    // Port squatting is a deployment error the operator must see at Build(),
+    // not a silent fallback; the listen socket deliberately avoids
+    // SO_REUSEADDR so the bind fails loudly here.
+    throw ConfigError(e.what());
+  }
+  return server_->port();
+}
+
+namespace {
+
+void AppendJsonKey(std::ostream& out, bool& first, std::string_view key) {
+  out << (first ? "" : ",") << '"' << key << "\":";
+  first = false;
+}
+
+void StatsToJson(const PipelineStats& stats, size_t quarantined_sinks, std::ostream& out) {
+  bool first = true;
+  out << '{';
+  AppendJsonKey(out, first, "bins");
+  out << stats.bins;
+  AppendJsonKey(out, first, "queries");
+  out << stats.queries;
+  AppendJsonKey(out, first, "packets");
+  out << stats.packets;
+  AppendJsonKey(out, first, "dropped");
+  out << stats.dropped;
+  AppendJsonKey(out, first, "shed");
+  out << stats.shed;
+  AppendJsonKey(out, first, "overload_bins");
+  out << stats.overload_bins;
+  AppendJsonKey(out, first, "batches_dropped");
+  out << stats.batches_dropped;
+  AppendJsonKey(out, first, "capacity");
+  out << stats.capacity;
+  AppendJsonKey(out, first, "last_utilization");
+  out << stats.last_utilization;
+  AppendJsonKey(out, first, "mean_utilization");
+  out << stats.mean_utilization;
+  AppendJsonKey(out, first, "prediction_error_ewma");
+  out << stats.prediction_error_ewma;
+  AppendJsonKey(out, first, "backlog_cycles");
+  out << stats.backlog_cycles;
+  AppendJsonKey(out, first, "ingest_dropped");
+  out << stats.ingest_dropped;
+  AppendJsonKey(out, first, "deadline_misses");
+  out << stats.deadline_misses;
+  AppendJsonKey(out, first, "degradation_level");
+  out << stats.degradation_level;
+  AppendJsonKey(out, first, "degradation_rung");
+  out << '"' << rt::DegradeActionName(static_cast<uint8_t>(stats.degradation_level)) << '"';
+  AppendJsonKey(out, first, "checkpoints");
+  out << stats.checkpoints;
+  AppendJsonKey(out, first, "quarantined_sinks");
+  out << quarantined_sinks;
+  out << '}';
+}
+
+}  // namespace
+
+obs::ObsServer::Response Pipeline::HandleHttp(const std::string& raw_path) const {
+  // Scrapers commonly append query strings ("/metrics?format=..."); route on
+  // the path alone.
+  const std::string path = raw_path.substr(0, raw_path.find('?'));
+
+  PipelineStats stats;
+  size_t quarantined = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats = published_stats_;
+    quarantined = published_quarantined_sinks_;
+  }
+
+  obs::ObsServer::Response response;
+  if (path == "/metrics") {
+    response.body = obs::PrometheusEncoder::Encode(system_->metrics().Snapshot());
+    return response;
+  }
+  if (path == "/healthz") {
+    const bool degraded = stats.degradation_level > 0 || quarantined > 0;
+    std::ostringstream body;
+    body << "{\"status\":\"" << (degraded ? "degraded" : "ok") << "\",\"degradation_level\":"
+         << stats.degradation_level << ",\"degradation_rung\":\""
+         << rt::DegradeActionName(static_cast<uint8_t>(stats.degradation_level))
+         << "\",\"deadline_misses\":" << stats.deadline_misses
+         << ",\"quarantined_sinks\":" << quarantined << ",\"bins\":" << stats.bins << "}\n";
+    response.content_type = "application/json";
+    response.body = body.str();
+    return response;
+  }
+  if (path == "/stats") {
+    std::ostringstream body;
+    StatsToJson(stats, quarantined, body);
+    body << '\n';
+    response.content_type = "application/json";
+    response.body = body.str();
+    return response;
+  }
+  if (path == "/trace") {
+    obs::Tracer* tracer = tracer_view_.load(std::memory_order_acquire);
+    if (tracer == nullptr) {
+      response.status = 404;
+      response.body = "tracing disabled; build the pipeline with Tracing()\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = tracer->ExportChromeTrace();
+    return response;
+  }
+  if (path == "/" || path.empty()) {
+    response.body = "shedmon observability endpoint\n/metrics\n/healthz\n/stats\n/trace\n";
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found: " + path + "\n";
+  return response;
 }
 
 }  // namespace shedmon::api

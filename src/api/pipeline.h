@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -16,6 +18,8 @@
 #include "src/net/packet.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/server.h"
+#include "src/obs/trace.h"
 #include "src/query/accuracy.h"
 #include "src/query/query.h"
 #include "src/rt/bounded_queue.h"
@@ -162,6 +166,19 @@ class PipelineBuilder {
   PipelineBuilder& JsonlTo(std::string path);
   PipelineBuilder& LogTo(std::string path);
 
+  // ---- Tracing & HTTP endpoint (src/obs) ----------------------------------
+  // Per-stage span tracing (extraction, prediction, shedding decision,
+  // per-query and per-shard execution, merges, references, sinks, rt ladder
+  // transitions). One-way like the metrics: BinLogs are bit-identical with
+  // tracing on or off. Export with Pipeline::DumpTrace (Chrome trace-event
+  // JSON, loadable in Perfetto) or scrape GET /trace.
+  PipelineBuilder& Tracing(bool enable = true);
+  // Embedded HTTP observability endpoint on 127.0.0.1:<port> serving
+  // GET /metrics (Prometheus), /healthz, /stats and /trace. Port 0 picks an
+  // ephemeral port — read it back with Pipeline::serve_port(). Build()
+  // throws ConfigError when the port cannot be bound (e.g. already in use).
+  PipelineBuilder& ServeOn(uint16_t port);
+
   // ---- Real-time robustness (src/rt) --------------------------------------
   // Per-bin wall-clock deadline enforcement: each closed bin must finish
   // processing within budget_fraction x the bin duration; overruns escalate
@@ -267,10 +284,16 @@ class PipelineBuilder {
   size_t checkpoint_every_ = 0;  // 0 = the system's measurement interval
   bool has_sink_retry_ = false;
   rt::RetryPolicy sink_retry_;
+  // obs options; applied like the rt options.
+  bool tracing_ = false;
+  bool serve_enabled_ = false;
+  uint16_t serve_port_ = 0;
 
   // Shared by Build() and RestoreOrBuild(): arms the rt options on a
   // freshly built or freshly restored pipeline.
   void ApplyRtOptions(Pipeline& pipeline) const;
+  // Same for the tracing/HTTP-endpoint options.
+  void ApplyObsOptions(Pipeline& pipeline) const;
 };
 
 // The supported public entry point to shedmon: a long-lived, online
@@ -378,8 +401,36 @@ class Pipeline {
   obs::MetricsRegistry& Metrics() { return system_->metrics(); }
   const obs::MetricsRegistry& Metrics() const { return system_->metrics(); }
 
-  // Typed whole-run summary from running tallies; O(queries), no log scan.
+  // Typed whole-run summary. Returns the copy published when the last bin
+  // closed (plus registration changes), guarded by a mutex, so any thread —
+  // in particular the HTTP endpoint's — may call this mid-run without racing
+  // the coordinator. Within the coordinator thread it is exact: every
+  // mutation path republishes before returning to the caller.
   PipelineStats Stats() const;
+
+  // ---- Tracing & HTTP endpoint (src/obs) ----------------------------------
+  // Arms per-stage span tracing (idempotent; normally via
+  // PipelineBuilder::Tracing). Spans land in bounded lock-free rings; once
+  // full, further spans are counted in shedmon_obs_trace_dropped_total and
+  // discarded. Also registers the shedmon_stage_wall_us{stage=...}
+  // histograms, fed from the same spans.
+  obs::Tracer& EnableTracing();
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+
+  // Writes the trace so far as Chrome trace-event JSON (Perfetto /
+  // chrome://tracing). Throws std::logic_error when tracing is not enabled,
+  // std::runtime_error when the file cannot be written.
+  void DumpTrace(const std::string& path) const;
+
+  // Starts the embedded HTTP endpoint on 127.0.0.1:<port> (0 = ephemeral)
+  // serving GET /metrics, /healthz, /stats and /trace; returns the bound
+  // port. Normally via PipelineBuilder::ServeOn. Throws ConfigError when the
+  // port cannot be bound. One server per pipeline: calling again replaces it.
+  uint16_t ServeOn(uint16_t port);
+  // The bound port, 0 when not serving.
+  uint16_t serve_port() const { return server_ != nullptr ? server_->port() : 0; }
+  // Stops the endpoint (idempotent; Finish and destruction also stop it).
+  void StopServing() { server_.reset(); }
 
   // Attaches a structured JSONL event log: query_added / query_removed /
   // bin_closed / snapshot / finish events, one JSON object per line. Pass
@@ -475,6 +526,11 @@ class Pipeline {
   void UpdateTallies(const core::BinLog& log);
   void MaybeCheckpoint();
   void AttachSinkRt();
+  // Recomputes the coordinator-side tallies into the mutex-guarded published
+  // copy behind Stats() / the HTTP endpoint.
+  PipelineStats ComputeStats() const;
+  void RefreshStats();
+  obs::ObsServer::Response HandleHttp(const std::string& raw_path) const;
   size_t open_records() const { return records_.size() - ingest_head_; }
 
   bool track_accuracy_;
@@ -533,6 +589,20 @@ class Pipeline {
   double last_util_ = 0.0;
 
   std::unique_ptr<obs::JsonlLogger> logger_;
+
+  // Tracing & HTTP endpoint. The published stats are the only pipeline state
+  // the server thread reads besides the (internally thread-safe) metrics
+  // registry and tracer rings; the coordinator republishes them after every
+  // mutation. tracer_view_ mirrors tracer_.get() atomically so a mid-run
+  // EnableTracing cannot race a concurrent GET /trace. server_ is declared
+  // last on purpose: it is destroyed (accept thread joined) before anything
+  // its handler dereferences.
+  mutable std::mutex stats_mutex_;
+  PipelineStats published_stats_;
+  size_t published_quarantined_sinks_ = 0;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::atomic<obs::Tracer*> tracer_view_{nullptr};
+  std::unique_ptr<obs::ObsServer> server_;
 };
 
 }  // namespace shedmon::api

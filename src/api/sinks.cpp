@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/rt/governor.h"
+
 namespace shedmon::api {
 
 namespace {
@@ -96,7 +98,7 @@ void CsvBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
     row << "bin,start_us,num_queries,packets_in,packets_dropped,packets_unsampled,"
            "batch_dropped,overload,predicted_cycles,avail_cycles,query_cycles,ps_cycles,"
            "ls_cycles,como_cycles,backlog_cycles,rtthresh,utilization,drop_fraction,"
-           "shed_fraction,degradation,deadline_missed,deadline_overrun_us\n";
+           "shed_fraction,degradation,degradation_rung,deadline_missed,deadline_overrun_us\n";
     header_written_ = true;
   }
   row << stats.bin_index << ',' << log.start_us << ',' << stats.num_queries << ','
@@ -106,8 +108,8 @@ void CsvBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
       << log.ps_cycles << ',' << log.ls_cycles << ',' << log.como_cycles << ','
       << log.backlog_cycles << ',' << log.rtthresh << ',' << stats.utilization << ','
       << stats.drop_fraction << ',' << stats.shed_fraction << ','
-      << static_cast<int>(log.degradation) << ',' << (log.deadline_missed ? 1 : 0) << ','
-      << log.deadline_overrun_us << '\n';
+      << static_cast<int>(log.degradation) << ',' << rt::DegradeActionName(log.degradation) << ','
+      << (log.deadline_missed ? 1 : 0) << ',' << log.deadline_overrun_us << '\n';
   WriteRow(row.str());
 }
 
@@ -129,8 +131,8 @@ void JsonlBinSink::OnBin(const core::BinLog& log, const BinStats& stats) {
       << ",\"ps_cycles\":" << log.ps_cycles << ",\"ls_cycles\":" << log.ls_cycles
       << ",\"como_cycles\":" << log.como_cycles << ",\"backlog_cycles\":" << log.backlog_cycles
       << ",\"utilization\":" << stats.utilization
-      << ",\"degradation\":" << static_cast<int>(log.degradation)
-      << ",\"deadline_missed\":" << (log.deadline_missed ? "true" : "false")
+      << ",\"degradation\":" << static_cast<int>(log.degradation) << ",\"degradation_rung\":\""
+      << rt::DegradeActionName(log.degradation) << "\",\"deadline_missed\":" << (log.deadline_missed ? "true" : "false")
       << ",\"deadline_overrun_us\":" << log.deadline_overrun_us << ",\"queries\":[";
   for (size_t q = 0; q < stats.query_names.size(); ++q) {
     if (q > 0) {

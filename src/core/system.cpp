@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "src/obs/trace.h"
 #include "src/util/cycle_clock.h"
 
 namespace shedmon::core {
@@ -66,9 +67,11 @@ void MonitoringSystem::InitInstruments() {
   ins_.prediction_error_ratio = &reg.GetHistogram(
       "shedmon_prediction_error_ratio", {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}, {},
       "Per-bin |predicted - actual| / actual query cycles");
-  ins_.rt_degraded_bins = &reg.GetCounter(
-      "shedmon_rt_degraded_bins_total", {},
-      "Bins processed under a degradation directive (boost/truncate/drop)");
+  for (uint8_t rung = 1; rung <= 3; ++rung) {
+    ins_.rt_degraded_bins[rung] = &reg.GetCounter(
+        "shedmon_rt_degraded_bins_total", {{"rung", rt::DegradeActionName(rung)}},
+        "Bins processed under a degradation directive, by ladder rung");
+  }
   ins_.rt_dropped_bins = &reg.GetCounter("shedmon_rt_dropped_bins_total", {},
                                          "Bins dropped whole by the deadline ladder");
   ins_.rt_truncated_queries = &reg.GetCounter(
@@ -174,6 +177,11 @@ void MonitoringSystem::SetFaultInjector(rt::FaultInjector* injector) {
   executor_.SetFaultInjector(injector);
 }
 
+void MonitoringSystem::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  executor_.SetTracer(tracer);
+}
+
 void MonitoringSystem::MarkDeadline(bool missed, double overrun_us) {
   if (log_.empty()) {
     return;
@@ -202,6 +210,7 @@ void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
     injector_->OnBinStart(log_.size());
   }
   executor_.SetBinIndex(log_.size());
+  executor_.SetTraceStage(obs::Stage::kQuery);  // wave-1 default; shard waves override
 
   BinLog log;
   log.start_us = batch.start_us;
@@ -212,7 +221,7 @@ void MonitoringSystem::ProcessBatch(const trace::Batch& batch) {
   log.como_cycles = config_.como_overhead_fraction * capacity_;
   log.degradation = static_cast<uint8_t>(degrade_.action);
   if (degrade_.action != rt::DegradeAction::kNone) {
-    ins_.rt_degraded_bins->Increment();
+    ins_.rt_degraded_bins[log.degradation]->Increment();
   }
   total_packets_ += batch.size();
 
@@ -389,6 +398,7 @@ void MonitoringSystem::ExecuteQueryPost(QueryRuntime& qr, const trace::Batch& ba
     for (const double cycles : ex.shard_cycles) {
       query_hint.shard_cycles += cycles;
     }
+    obs::Span merge_span(tracer_, obs::Stage::kMerge, static_cast<uint32_t>(log_.size()));
     used = oracle_->RunAt(ex.next_seq++, WorkKind::kQuery, query_hint,
                           [&] { qr.query->ProcessShards(in, std::move(ex.states)); });
   } else {
@@ -439,6 +449,7 @@ void MonitoringSystem::RunShardWaves(const trace::Batch& batch, std::vector<Quer
   // only touch their own partial plus the query's stable pre-batch state.
   // Each task is TSC-timed so wall-measuring oracles can charge this work
   // at the query's merge (the model oracle ignores the timings).
+  executor_.SetTraceStage(obs::Stage::kShard);
   executor_.Run(
       tasks.size(),
       [&](size_t t) {
@@ -455,6 +466,7 @@ void MonitoringSystem::RunShardWaves(const trace::Batch& batch, std::vector<Quer
       nullptr);
   // Wave 3: fold the partials (per query, in shard-index order) and finish
   // the per-query pipeline; only the sharded queries have work left.
+  executor_.SetTraceStage(obs::Stage::kQuery);
   executor_.Run(
       sharded.size(),
       [&](size_t i) {
@@ -512,21 +524,32 @@ MonitoringSystem::QueryTaskResult MonitoringSystem::ExecuteCustom(QueryRuntime& 
 
 void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
   const size_t n = queries_.size();
+  const uint32_t bin = static_cast<uint32_t>(log_.size());
 
   // Phase 1 (Alg. 1 lines 3-6): shared feature extraction + per-query
   // prediction of the cost of the full batch.
   features::FeatureVector f_full{};
   WorkHint extract_hint{nullptr, &batch.packets, 0.0};
-  log.ps_cycles += oracle_->Run(WorkKind::kFeatureExtraction, extract_hint,
-                                [&] { f_full = sys_extractor_.Extract(batch.packets); });
+  {
+    obs::Span span(tracer_, obs::Stage::kExtraction, bin);
+    log.ps_cycles += oracle_->Run(WorkKind::kFeatureExtraction, extract_hint,
+                                  [&] { f_full = sys_extractor_.Extract(batch.packets); });
+  }
 
   std::vector<double> pred(n, 0.0);
   double pred_total = 0.0;
-  for (size_t q = 0; q < n; ++q) {
-    pred[q] = std::max(0.0, queries_[q]->engine.PredictCycles(f_full));
-    pred_total += pred[q];
+  {
+    obs::Span span(tracer_, obs::Stage::kPrediction, bin);
+    for (size_t q = 0; q < n; ++q) {
+      pred[q] = std::max(0.0, queries_[q]->engine.PredictCycles(f_full));
+      pred_total += pred[q];
+    }
   }
   log.predicted_cycles = pred_total;
+
+  // Phases 2-3 are one shed_decision span: availability, allocation and the
+  // ladder rungs together form the decision the trace should show.
+  const uint64_t shed_start_us = tracer_ != nullptr ? tracer_->NowUs() : 0;
 
   // Phase 2 (line 7): available cycles, corrected by measured overheads and
   // the buffer-discovery slack (rtthresh - delay). The effective slack is
@@ -568,6 +591,10 @@ void MonitoringSystem::RunPredictive(const trace::Batch& batch, BinLog& log) {
   // the cycle-oracle-driven decision above stays untouched (and bit-exact)
   // whenever the governor is quiet.
   ApplyDegradation(alloc.rate, alloc.disabled);
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::Stage::kShedDecision, shed_start_us, tracer_->NowUs() - shed_start_us,
+                    bin);
+  }
 
   // Phase 4 (lines 10-16): shed and execute. Pre-execution bookkeeping
   // (penalty ticks, warm-up probes, rate finalization, charge-slot

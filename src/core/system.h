@@ -178,6 +178,13 @@ class MonitoringSystem {
   obs::MetricsRegistry& metrics() { return *registry_; }
   const obs::MetricsRegistry& metrics() const { return *registry_; }
 
+  // Optional span tracer: when set, every bin records per-stage spans
+  // (shared extraction, prediction, shedding decision, per-query and
+  // per-shard execution waves, ordered merges). Borrowed pointer; nullptr
+  // (the default) detaches. Spans are write-only like the metrics, so traced
+  // runs stay bit-identical.
+  void SetTracer(obs::Tracer* tracer);
+
   const QueryConfig& query_config(size_t i) const { return queries_[i]->config; }
   double backlog_cycles() const { return backlog_cycles_; }
   double rtthresh() const { return rtthresh_; }
@@ -343,7 +350,9 @@ class MonitoringSystem {
     obs::Gauge* prediction_error_ewma = nullptr;
     obs::Histogram* bin_utilization = nullptr;
     obs::Histogram* prediction_error_ratio = nullptr;
-    obs::Counter* rt_degraded_bins = nullptr;
+    // Indexed by ladder rung (1=boost 2=truncate 3=drop; [0] unused) so each
+    // degraded bin counts under its rung-name label.
+    std::array<obs::Counter*, 4> rt_degraded_bins{};
     obs::Counter* rt_dropped_bins = nullptr;
     obs::Counter* rt_truncated_queries = nullptr;
   };
@@ -366,6 +375,7 @@ class MonitoringSystem {
   util::Rng rng_;
   rt::Directive degrade_;
   rt::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   double capacity_ = 0.0;
   double backlog_cycles_ = 0.0;

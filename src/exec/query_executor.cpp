@@ -5,6 +5,7 @@
 
 #include "src/exec/thread_pool.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rt/fault.h"
 
 namespace shedmon::exec {
@@ -48,6 +49,18 @@ void QueryExecutor::Run(size_t n, const std::function<void(size_t)>& raw_task,
       raw_task(i);
     };
   }
+  if (task && tracer_ != nullptr) {
+    // Outermost wrapper so the span covers any injected stall too — the
+    // trace should show the wall time a task actually took.
+    const std::function<void(size_t)> inner = task;
+    obs::Tracer* tracer = tracer_;
+    const obs::Stage stage = trace_stage_;
+    const uint32_t bin = static_cast<uint32_t>(bin_index_);
+    task = [tracer, stage, bin, inner](size_t i) {
+      obs::Span span(tracer, stage, bin, static_cast<int64_t>(i));
+      inner(i);
+    };
+  }
   if (task) {
     if (pool_ != nullptr && n > 1) {
       // Grain 1: per-query costs are heterogeneous (Fig. 2.2 spans ~20x), so
@@ -67,6 +80,7 @@ void QueryExecutor::Run(size_t n, const std::function<void(size_t)>& raw_task,
     }
   }
   if (merge) {
+    obs::Span span(tracer_, obs::Stage::kMerge, static_cast<uint32_t>(bin_index_));
     for (size_t i = 0; i < n; ++i) {
       merge(i);
     }

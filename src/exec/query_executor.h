@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 namespace shedmon::obs {
 class Histogram;
+class Tracer;
+enum class Stage : uint8_t;
 }  // namespace shedmon::obs
 
 namespace shedmon::rt {
@@ -66,6 +69,15 @@ class QueryExecutor {
   void SetFaultInjector(rt::FaultInjector* injector) { injector_ = injector; }
   void SetBinIndex(size_t bin_index) { bin_index_ = bin_index; }
 
+  // Optional span tracing: when a tracer is set, every task of a Run wave is
+  // recorded as one span (arg = task index) under the stage the coordinator
+  // announced with SetTraceStage before dispatching the wave, and the ordered
+  // merge replay is recorded as a single merge span. Borrowed pointer; null
+  // disables. Like the metrics, spans are write-only — they never influence
+  // planning — so traced runs stay bit-identical.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void SetTraceStage(obs::Stage stage) { trace_stage_ = stage; }
+
   // ---- Intra-query shard planning ----------------------------------------
   // How many shards to split one query's `units` of batch work into: capped
   // by the caller's `max_shards` budget, by the pool's execution contexts
@@ -88,6 +100,8 @@ class QueryExecutor {
   ThreadPool* pool_;
   obs::Histogram* wave_seconds_ = nullptr;
   rt::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Stage trace_stage_{};  // the coordinator announces this per wave
   size_t bin_index_ = 0;
 };
 

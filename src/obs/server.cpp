@@ -1,0 +1,147 @@
+#include "src/obs/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace shedmon::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+ObsServer::ObsServer(uint16_t port, Handler handler) : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("obs server: socket() failed: " + std::string(std::strerror(errno)));
+  }
+  // Deliberately no SO_REUSEADDR: a port already held by another process (or
+  // a dying one) must fail loudly here so Build() can reject the config.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("obs server: cannot listen on 127.0.0.1:" + std::to_string(port) +
+                             ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+ObsServer::~ObsServer() { Stop(); }
+
+void ObsServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    return;
+  }
+  // shutdown() wakes the blocking accept(); close() alone is not guaranteed
+  // to on Linux.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ObsServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listening socket shut down (Stop) or unrecoverable
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void ObsServer::HandleConnection(int fd) {
+  // A scrape request fits a single read in practice; keep reading until the
+  // header terminator, a hard cap, or a timeout so a stuck client cannot
+  // wedge the accept loop.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buffer[2048];
+  while (request.size() < 16384 && request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  Response response;
+  std::istringstream line(request.substr(0, request.find('\n')));
+  std::string method;
+  std::string path;
+  std::string version;
+  line >> method >> path >> version;
+  if (method.empty() || path.empty() || version.rfind("HTTP/", 0) != 0) {
+    response = Response{400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (method != "GET") {
+    response = Response{405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    response = handler_ ? handler_(path)
+                        : Response{404, "text/plain; charset=utf-8", "not found\n"};
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << StatusText(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  WriteAll(fd, out.str());
+}
+
+}  // namespace shedmon::obs

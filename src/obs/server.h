@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace shedmon::obs {
+
+// Minimal embedded HTTP/1.1 endpoint for scraping observability state: a
+// blocking accept loop on its own thread, one request per connection, no
+// third-party dependencies. The server knows nothing about pipelines — it
+// routes every GET to a caller-supplied handler, so this layer stays at the
+// bottom of the dependency graph (api wires pipeline routes on top).
+//
+// Protocol surface is deliberately tiny: GET only (anything else is 405),
+// requests that do not parse as `METHOD SP PATH SP HTTP/x.y` are 400, and
+// the handler decides 200/404 per path. Responses always close the
+// connection, which is exactly what curl / Prometheus scrapers expect.
+class ObsServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response(const std::string& path)>;
+
+  // Binds 127.0.0.1:<port> and starts the accept thread. Port 0 picks an
+  // ephemeral port (read it back with port()). Throws std::runtime_error if
+  // the socket cannot be bound — e.g. the port is already in use.
+  ObsServer(uint16_t port, Handler handler);
+  ~ObsServer();
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  // The bound port (resolves ephemeral port 0). Stable after construction.
+  uint16_t port() const { return port_; }
+
+  // Stops accepting, closes the listening socket and joins the accept
+  // thread. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace shedmon::obs

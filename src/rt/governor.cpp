@@ -5,6 +5,20 @@
 
 namespace shedmon::rt {
 
+const char* DegradeActionName(DegradeAction action) {
+  switch (action) {
+    case DegradeAction::kNone:
+      return "none";
+    case DegradeAction::kBoostShedding:
+      return "boost";
+    case DegradeAction::kTruncate:
+      return "truncate";
+    case DegradeAction::kDropBin:
+      return "drop";
+  }
+  return "none";
+}
+
 DeadlineGovernor::DeadlineGovernor(GovernorConfig config, std::shared_ptr<Clock> clock)
     : config_(config), clock_(std::move(clock)) {
   if (config_.budget_fraction <= 0.0) {
@@ -73,10 +87,12 @@ void DeadlineGovernor::Escalate(uint64_t bin_index, double overrun_us) {
   // Any escalation at or above the boost rung tightens the rate scale, so a
   // persistent overrun keeps shedding harder instead of plateauing.
   rate_scale_ = std::max(1e-3, rate_scale_ / config_.boost_factor);
+  const char* rung = DegradeActionName(static_cast<uint8_t>(level_));
   if (metrics_ != nullptr) {
     metrics_
-        ->GetCounter("shedmon_rt_deadline_miss_total", {},
-                     "Bins whose wall-clock processing exceeded the real-time budget")
+        ->GetCounter("shedmon_rt_deadline_miss_total", {{"rung", rung}},
+                     "Bins whose wall-clock processing exceeded the real-time budget, by the "
+                     "ladder rung escalated to")
         .Increment();
     metrics_
         ->GetGauge("shedmon_rt_degradation_level", {},
@@ -88,7 +104,11 @@ void DeadlineGovernor::Escalate(uint64_t bin_index, double overrun_us) {
                        .Int("bin", bin_index)
                        .Num("overrun_us", overrun_us)
                        .Int("level", static_cast<uint64_t>(level_))
+                       .Str("rung", rung)
                        .Num("rate_scale", rate_scale_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant(obs::Stage::kDegrade, static_cast<uint32_t>(bin_index), level_);
   }
 }
 
@@ -106,7 +126,11 @@ void DeadlineGovernor::Decay(uint64_t bin_index) {
     logger_->Write(obs::LogEvent("rt_degradation_decay")
                        .Int("bin", bin_index)
                        .Int("level", static_cast<uint64_t>(level_))
+                       .Str("rung", DegradeActionName(static_cast<uint8_t>(level_)))
                        .Num("rate_scale", rate_scale_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant(obs::Stage::kDegrade, static_cast<uint32_t>(bin_index), level_);
   }
 }
 

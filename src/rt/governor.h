@@ -5,6 +5,7 @@
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rt/clock.h"
 
 namespace shedmon::rt {
@@ -24,6 +25,15 @@ enum class DegradeAction : uint8_t {
   // overflow (whole batch dropped, no query work).
   kDropBin = 3,
 };
+
+// Canonical rung name — "none" / "boost" / "truncate" / "drop" — shared by
+// the JSONL events, the Prometheus label values and the CSV/JSONL sink
+// columns so every surface spells the ladder the same way. Out-of-range
+// values (a corrupt BinLog byte) map to "none".
+const char* DegradeActionName(DegradeAction action);
+inline const char* DegradeActionName(uint8_t level) {
+  return DegradeActionName(level <= 3 ? static_cast<DegradeAction>(level) : DegradeAction::kNone);
+}
 
 // What the governor tells the system to do for the UPCOMING bin. Overruns on
 // bin N can only shape bin N+1 — bin N's work is already done by the time
@@ -67,6 +77,10 @@ class DeadlineGovernor {
   // Pass nullptr to detach. Pointers must outlive the governor.
   void Attach(obs::MetricsRegistry* metrics, obs::JsonlLogger* logger);
 
+  // Optional: mark ladder transitions as instant events (arg = new rung) in
+  // a span trace. Borrowed pointer; nullptr detaches.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Directive for the bin about to be processed; starts its stopwatch.
   Directive Begin();
 
@@ -91,6 +105,7 @@ class DeadlineGovernor {
   std::shared_ptr<Clock> clock_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::JsonlLogger* logger_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   int level_ = 0;           // current rung: 0 = kNone .. 3 = kDropBin
   double rate_scale_ = 1.0;  // compounded boost, 1.0 at level 0

@@ -41,7 +41,7 @@ grep -q 'SIGUSR1' run.err || {
 [ -s state.ckpt ] || { echo "FAIL: no checkpoint written"; exit 1; }
 grep -q 'shedmon_rt_sink_retries_total{sink="csv"} [1-9]' metrics.prom || {
   echo "FAIL: injected sink faults were not retried"; cat metrics.prom; exit 1; }
-grep -q 'shedmon_rt_deadline_miss_total [1-9]' metrics.prom || {
+grep -Eq 'shedmon_rt_deadline_miss_total\{rung="(boost|truncate|drop)"\} [1-9]' metrics.prom || {
   echo "FAIL: injected stalls did not trip the deadline ladder"; cat metrics.prom; exit 1; }
 grep -Eq 'rt: [1-9][0-9]* deadline misses' run.out || {
   echo "FAIL: rt summary line missing from run output"; cat run.out; exit 1; }

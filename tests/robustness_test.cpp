@@ -81,13 +81,16 @@ void ExpectBinLogsIdentical(const std::vector<core::BinLog>& golden,
   }
 }
 
+// Sums every series of the family: rt counters split by {rung=...} labels
+// still report their ladder-wide totals here.
 double CounterValue(const obs::MetricsRegistry& metrics, const std::string& name) {
+  double sum = 0.0;
   for (const auto& sample : metrics.Snapshot().samples) {
     if (sample.name == name) {
-      return sample.value;
+      sum += sample.value;
     }
   }
-  return 0.0;
+  return sum;
 }
 
 // ---------------------------------------------------------------------------
@@ -491,10 +494,12 @@ TEST(Robustness, SinksCarryTheDegradationColumns) {
   pipeline->Finish();
 
   const std::string csv_text = csv.str();
-  EXPECT_NE(csv_text.find(",degradation,deadline_missed,deadline_overrun_us"),
+  EXPECT_NE(csv_text.find(",degradation,degradation_rung,deadline_missed,deadline_overrun_us"),
             std::string::npos);
+  EXPECT_NE(csv_text.find(",3,drop,"), std::string::npos);
   const std::string jsonl_text = jsonl.str();
   EXPECT_NE(jsonl_text.find("\"degradation\":3"), std::string::npos);
+  EXPECT_NE(jsonl_text.find("\"degradation_rung\":\"drop\""), std::string::npos);
   EXPECT_NE(jsonl_text.find("\"deadline_missed\":true"), std::string::npos);
 }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Live smoke for the embedded HTTP observability endpoint, exercised the way
+# an operator's scrape loop would: start a run with --serve 0 (ephemeral
+# port) plus per-bin stalls so the run lasts long enough to scrape, parse
+# the bound port from the banner, GET /metrics /healthz /stats /trace
+# mid-run, check the Prometheus exposition and trace JSON shapes, and
+# require a clean shutdown with the trace file written at exit.
+#
+# usage: serve_smoke.sh <path-to-shedmon_cli>
+set -euo pipefail
+
+CLI=$(readlink -f "${1:?usage: serve_smoke.sh <path-to-shedmon_cli>}")
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+"$CLI" generate --preset cesca2 --duration 4 --seed 11 --out trace.smt >/dev/null
+
+# 50 ms of real stall per bin keeps the 40-bin run alive ~2 s — a
+# deterministic window for the mid-run scrapes — and trips the deadline
+# ladder, so /healthz has a degradation to report.
+"$CLI" run trace.smt --queries counter,flows --k 0.5 \
+  --serve 0 --trace-out spans.json \
+  --deadline 0.4 --fault-plan "seed=7,stall_every=1:50000" \
+  >run.out 2>run.err &
+pid=$!
+
+for _ in $(seq 200); do
+  grep -q '^serving' run.out 2>/dev/null && break
+  sleep 0.02
+done
+PORT=$(sed -n 's#^serving http://127.0.0.1:\([0-9]*\).*#\1#p' run.out)
+[ -n "$PORT" ] || { echo "FAIL: no 'serving' banner with a port"; cat run.out; exit 1; }
+
+fetch() {
+  python3 - "$1" <<'PY'
+import sys, urllib.request
+print(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())
+PY
+}
+
+fetch "http://127.0.0.1:$PORT/metrics" >metrics.prom
+fetch "http://127.0.0.1:$PORT/healthz" >healthz.json
+fetch "http://127.0.0.1:$PORT/stats" >stats.json
+fetch "http://127.0.0.1:$PORT/trace" >trace.json
+
+grep -q '# TYPE shedmon_packets_total counter' metrics.prom || {
+  echo "FAIL: /metrics is not Prometheus text exposition"; cat metrics.prom; exit 1; }
+grep -q 'shedmon_stage_wall_us_bucket{' metrics.prom || {
+  echo "FAIL: /metrics lacks the per-stage wall histograms"; exit 1; }
+grep -q '"status":' healthz.json || {
+  echo "FAIL: /healthz is not the health JSON"; cat healthz.json; exit 1; }
+grep -q '"degradation_rung":' stats.json || {
+  echo "FAIL: /stats lacks the degradation rung"; cat stats.json; exit 1; }
+python3 - <<'PY' || { echo "FAIL: /trace is not valid Chrome trace JSON"; exit 1; }
+import json
+d = json.load(open("trace.json"))
+assert isinstance(d["traceEvents"], list)
+PY
+
+wait "$pid" || { echo "FAIL: run exited non-zero"; cat run.err; exit 1; }
+[ -s spans.json ] || { echo "FAIL: --trace-out wrote nothing"; exit 1; }
+python3 - <<'PY' || { echo "FAIL: --trace-out is not a loadable trace"; exit 1; }
+import json
+d = json.load(open("spans.json"))
+names = {e["name"] for e in d["traceEvents"]}
+assert {"bin_close", "extraction", "prediction", "shed_decision", "query"} <= names, names
+PY
+
+echo "serve smoke: OK"

@@ -37,8 +37,16 @@ HOT_PATH = (
     "BM_FlowSampler",
     "BM_BoyerMoore",
     "BM_PipelinePackets",
+    "BM_PipelinePacketsTraced",
     "BM_PipelinePacketsThreads",
     "BM_PipelinePacketsShards",
+)
+
+# Paired overhead gates: (instrumented, plain, max tolerated fractional
+# slowdown). Both sides come from the *current* run, so the gate is immune to
+# the cross-machine drift that makes the baseline comparison advisory.
+OVERHEAD_PAIRS = (
+    ("BM_PipelinePacketsTraced", "BM_PipelinePackets", 0.05),
 )
 
 
@@ -95,11 +103,25 @@ def main():
     for name, tag, _, note in rows:
         print(f"{name:<{width}}  [{tag}]  {note}")
 
+    for instrumented, plain, budget in OVERHEAD_PAIRS:
+        if instrumented not in current or plain not in current:
+            continue
+        inst_rate, inst_kind = throughput(current[instrumented])
+        plain_rate, plain_kind = throughput(current[plain])
+        if inst_kind != plain_kind or plain_rate <= 0:
+            continue
+        ratio = inst_rate / plain_rate
+        note = f"{instrumented} vs {plain}: {ratio:.3f}x"
+        if ratio < 1.0 - budget:
+            note += f"  OVERHEAD REGRESSION (>{budget:.0%} slowdown)"
+            failures.append((f"{instrumented} (vs {plain})", ratio))
+        print(note)
+
     if failures:
         print(f"\nFAIL: {len(failures)} hot-path benchmark(s) regressed "
-              f"beyond {args.threshold:.0%}:", file=sys.stderr)
+              f"beyond the threshold:", file=sys.stderr)
         for name, ratio in failures:
-            print(f"  {name}: {ratio:.3f}x of baseline", file=sys.stderr)
+            print(f"  {name}: {ratio:.3f}x", file=sys.stderr)
         return 1
     print(f"\nOK: no hot-path throughput regression beyond {args.threshold:.0%}.")
     return 0

@@ -138,6 +138,7 @@ int Usage() {
       "              [--deadline F] [--ingest-cap N] [--ingest-policy P]\n"
       "              [--fault-plan SPEC] [--sink-retries N]\n"
       "              [--checkpoint FILE] [--checkpoint-every N] [--restore]\n"
+      "              [--serve PORT] [--trace-out FILE]\n"
       "  queries     (list available queries and their default min rates)\n"
       "\n"
       "run flags:\n"
@@ -157,7 +158,12 @@ int Usage() {
       "                      (with backoff), then quarantine the sink\n"
       "  --checkpoint FILE   write a crash-safe snapshot (tmp+fsync+rename)\n"
       "                      every --checkpoint-every bins (default: one\n"
-      "                      measurement interval); --restore resumes from it\n");
+      "                      measurement interval); --restore resumes from it\n"
+      "  --serve PORT        serve /metrics, /healthz, /stats and /trace over\n"
+      "                      HTTP on 127.0.0.1:PORT for the whole run (PORT 0\n"
+      "                      picks a free port; the bound port is printed)\n"
+      "  --trace-out FILE    record per-stage spans and write them as Chrome\n"
+      "                      trace-event JSON (load in Perfetto / about:tracing)\n");
   return 2;
 }
 
@@ -376,6 +382,15 @@ int CmdRun(const Flags& flags) {
     }
   }
 
+  // Observability surfaces (src/obs): both are one-way — spans and scrapes
+  // never feed back into shedding decisions, so results stay bit-identical.
+  if (flags.Has("trace-out")) {
+    builder.Tracing();
+  }
+  if (flags.Has("serve")) {
+    builder.ServeOn(static_cast<uint16_t>(flags.GetU64("serve", 0)));
+  }
+
   std::unique_ptr<Pipeline> pipeline;
   uint64_t resume_us = 0;
   if (flags.Has("restore") && flags.Has("checkpoint")) {
@@ -412,6 +427,12 @@ int CmdRun(const Flags& flags) {
     sigaction(SIGUSR1, &action, nullptr);
   }
 
+  if (flags.Has("serve")) {
+    // Wrappers parse this line to find the bound port (--serve 0 binds an
+    // ephemeral one), so keep its shape stable.
+    std::printf("serving http://127.0.0.1:%u (/metrics /healthz /stats /trace)\n",
+                pipeline->serve_port());
+  }
   std::printf("running %zu queries at overload K=%.2f (capacity %.3g cycles/bin, %s)\n\n",
               queries.size(), k, capacity,
               oracle == core::OracleKind::kMeasured ? "measured cycles" : "model cycles");
@@ -432,6 +453,9 @@ int CmdRun(const Flags& flags) {
   pipeline->Finish();
   if (!metrics_out.empty()) {
     DumpMetrics(*pipeline, metrics_out);
+  }
+  if (flags.Has("trace-out")) {
+    pipeline->DumpTrace(flags.Get("trace-out"));
   }
 
   util::Table table({"query", "min rate", "mean srate", "accuracy error"});
@@ -474,6 +498,10 @@ int CmdRun(const Flags& flags) {
   }
   if (flags.Has("jsonl")) {
     std::printf("per-bin log written to %s\n", flags.Get("jsonl").c_str());
+  }
+  if (flags.Has("trace-out")) {
+    std::printf("trace (Chrome trace-event JSON) written to %s\n",
+                flags.Get("trace-out").c_str());
   }
   if (!metrics_out.empty()) {
     std::printf("metrics (Prometheus text format) written to %s\n", metrics_out.c_str());
