@@ -11,6 +11,16 @@ target_include_directories(shedmon_compile_options INTERFACE
 target_compile_options(shedmon_compile_options INTERFACE
   $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra>)
 
+# Clang's thread-safety analysis is a compile-time race detector over the
+# SHEDMON_GUARDED_BY/REQUIRES/... annotations (src/util/thread_annotations.h)
+# and the util::Mutex wrappers. Promoted straight to an error on every clang
+# build — an unannotated access to guarded state should never compile, not
+# merely warn — while the rest of the warning set stays governed by
+# SHEDMON_WERROR. GCC has no equivalent analysis; the macros expand to
+# nothing there.
+target_compile_options(shedmon_compile_options INTERFACE
+  $<$<CXX_COMPILER_ID:Clang,AppleClang>:-Wthread-safety -Werror=thread-safety>)
+
 if(SHEDMON_WERROR)
   target_compile_options(shedmon_compile_options INTERFACE
     $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>)

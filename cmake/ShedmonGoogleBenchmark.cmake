@@ -27,4 +27,11 @@ if(NOT TARGET benchmark::benchmark)
   if(NOT TARGET benchmark::benchmark)
     add_library(benchmark::benchmark ALIAS benchmark)
   endif()
+
+  # Third-party code is not ours to keep tidy-clean.
+  foreach(bench_target benchmark benchmark_main)
+    if(TARGET ${bench_target})
+      set_target_properties(${bench_target} PROPERTIES CXX_CLANG_TIDY "")
+    endif()
+  endforeach()
 endif()

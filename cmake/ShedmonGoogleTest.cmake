@@ -25,4 +25,11 @@ if(NOT TARGET GTest::gtest_main)
   if(NOT TARGET GTest::gtest_main)
     add_library(GTest::gtest_main ALIAS gtest_main)
   endif()
+
+  # Third-party code is not ours to keep tidy-clean.
+  foreach(gtest_target gtest gtest_main gmock gmock_main)
+    if(TARGET ${gtest_target})
+      set_target_properties(${gtest_target} PROPERTIES CXX_CLANG_TIDY "")
+    endif()
+  endforeach()
 endif()

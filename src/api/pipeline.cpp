@@ -755,7 +755,7 @@ void Pipeline::UpdateTallies(const core::BinLog& log) {
 }
 
 PipelineStats Pipeline::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return published_stats_;
 }
 
@@ -786,7 +786,7 @@ void Pipeline::RefreshStats() {
   for (ResilientSinkBase* sink : rt_sinks_) {
     quarantined += sink->quarantined() ? 1 : 0;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   published_stats_ = stats;
   published_quarantined_sinks_ = quarantined;
 }
@@ -1061,7 +1061,7 @@ obs::ObsServer::Response Pipeline::HandleHttp(const std::string& raw_path) const
   PipelineStats stats;
   size_t quarantined = 0;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats = published_stats_;
     quarantined = published_quarantined_sinks_;
   }

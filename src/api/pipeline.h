@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -29,6 +28,8 @@
 #include "src/rt/resilient.h"
 #include "src/trace/batch.h"
 #include "src/trace/generator.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace shedmon::api {
 
@@ -597,9 +598,9 @@ class Pipeline {
   // EnableTracing cannot race a concurrent GET /trace. server_ is declared
   // last on purpose: it is destroyed (accept thread joined) before anything
   // its handler dereferences.
-  mutable std::mutex stats_mutex_;
-  PipelineStats published_stats_;
-  size_t published_quarantined_sinks_ = 0;
+  mutable util::Mutex stats_mutex_;
+  PipelineStats published_stats_ SHEDMON_GUARDED_BY(stats_mutex_);
+  size_t published_quarantined_sinks_ SHEDMON_GUARDED_BY(stats_mutex_) = 0;
   std::unique_ptr<obs::Tracer> tracer_;
   std::atomic<obs::Tracer*> tracer_view_{nullptr};
   std::unique_ptr<obs::ObsServer> server_;

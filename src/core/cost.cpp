@@ -114,7 +114,7 @@ double ModelCostOracle::RunAt(uint64_t seq, WorkKind kind, const WorkHint& hint,
         const double current = hint.query->work_units();
         double delta;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          util::MutexLock lock(mutex_);
           double& last = last_work_[hint.query];
           delta = current - last;
           last = current;
@@ -148,12 +148,12 @@ void ModelCostOracle::OnQueryAdded(const query::Query* query) {
   if (query == nullptr) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   last_work_[query] = query->work_units();
 }
 
 void ModelCostOracle::OnQueryRemoved(const query::Query* query) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   last_work_.erase(query);
 }
 

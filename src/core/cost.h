@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <unordered_map>
 
 #include "src/obs/snapshot.h"
 #include "src/query/query.h"
 #include "src/trace/batch.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace shedmon::core {
 
@@ -136,8 +137,8 @@ class ModelCostOracle : public CostOracle {
   std::atomic<uint64_t> call_count_{0};
   // Guards last_work_: entries are per-query, but first-touch insertion can
   // rehash the table under concurrent per-query calls.
-  std::mutex mutex_;
-  std::unordered_map<const query::Query*, double> last_work_;
+  util::Mutex mutex_;
+  std::unordered_map<const query::Query*, double> last_work_ SHEDMON_GUARDED_BY(mutex_);
 };
 
 enum class OracleKind { kMeasured, kModel };

@@ -1,12 +1,12 @@
 #include "src/exec/query_executor.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "src/exec/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rt/fault.h"
+#include "src/util/cycle_clock.h"
 
 namespace shedmon::exec {
 
@@ -66,10 +66,9 @@ void QueryExecutor::Run(size_t n, const std::function<void(size_t)>& raw_task,
       // Grain 1: per-query costs are heterogeneous (Fig. 2.2 spans ~20x), so
       // fine-grained dispatch load-balances better than equal chunks.
       if (wave_seconds_ != nullptr) {
-        const auto start = std::chrono::steady_clock::now();
+        const uint64_t start_us = util::MonotonicNowUs();
         pool_->ParallelFor(0, n, 1, task);
-        wave_seconds_->Observe(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+        wave_seconds_->Observe(static_cast<double>(util::MonotonicNowUs() - start_us) * 1e-6);
       } else {
         pool_->ParallelFor(0, n, 1, task);
       }

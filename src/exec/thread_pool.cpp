@@ -1,18 +1,13 @@
 #include "src/exec/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
+
+#include "src/util/cycle_clock.h"
 
 namespace shedmon::exec {
 
-namespace {
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-}  // namespace
-
 void ThreadPool::SetMetrics(const PoolMetricsHooks& hooks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   hooks_ = hooks;
 }
 
@@ -26,10 +21,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -37,13 +32,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Enqueue(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.push_back(std::move(fn));
     if (hooks_.queue_depth != nullptr) {
       hooks_.queue_depth->Add(1.0);
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,8 +46,10 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> fn;
     PoolMetricsHooks hooks;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) {
+        cv_.Wait(lock);
+      }
       if (queue_.empty()) {
         return;  // stop_ set and queue drained
       }
@@ -64,9 +61,9 @@ void ThreadPool::WorkerLoop() {
       }
     }
     if (hooks.task_seconds != nullptr) {
-      const auto start = std::chrono::steady_clock::now();
+      const uint64_t start_us = util::MonotonicNowUs();
       fn();
-      hooks.task_seconds->Observe(SecondsSince(start));
+      hooks.task_seconds->Observe(static_cast<double>(util::MonotonicNowUs() - start_us) * 1e-6);
     } else {
       fn();
     }

@@ -1,17 +1,17 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace shedmon::exec {
 
@@ -55,7 +55,7 @@ class ThreadPool {
   // Installs (or clears) the metrics hooks. Guarded by the queue mutex so it
   // may be called while workers are parked; call before submitting work —
   // tasks already in flight may be counted under the old hooks.
-  void SetMetrics(const PoolMetricsHooks& hooks);
+  void SetMetrics(const PoolMetricsHooks& hooks) SHEDMON_EXCLUDES(mutex_);
 
   // Enqueues `fn` and returns a future for its result. The future's
   // get()/wait() rethrows any exception the task raised.
@@ -85,15 +85,15 @@ class ThreadPool {
                    const std::function<void(size_t)>& body);
 
  private:
-  void Enqueue(std::function<void()> fn);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> fn) SHEDMON_EXCLUDES(mutex_);
+  void WorkerLoop() SHEDMON_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  PoolMetricsHooks hooks_;  // guarded by mutex_
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ SHEDMON_GUARDED_BY(mutex_);
+  bool stop_ SHEDMON_GUARDED_BY(mutex_) = false;
+  PoolMetricsHooks hooks_ SHEDMON_GUARDED_BY(mutex_);
 };
 
 }  // namespace shedmon::exec

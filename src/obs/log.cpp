@@ -85,12 +85,12 @@ JsonlLogger::JsonlLogger(const std::string& path)
 }
 
 void JsonlLogger::Write(const LogEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   *out_ << event.line_ << "}\n";
 }
 
 void JsonlLogger::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   out_->flush();
 }
 

@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
+
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace shedmon::obs {
 
@@ -38,13 +40,15 @@ class JsonlLogger {
   explicit JsonlLogger(std::ostream& out);
   explicit JsonlLogger(const std::string& path);
 
-  void Write(const LogEvent& event);
-  void Flush();
+  void Write(const LogEvent& event) SHEDMON_EXCLUDES(mutex_);
+  void Flush() SHEDMON_EXCLUDES(mutex_);
 
  private:
   std::ofstream file_;
-  std::ostream* out_;
-  std::mutex mutex_;
+  // The pointee (the stream) is what the mutex protects; the pointer itself
+  // is set once at construction and never reassigned.
+  std::ostream* out_ SHEDMON_PT_GUARDED_BY(mutex_);
+  util::Mutex mutex_;
 };
 
 }  // namespace shedmon::obs

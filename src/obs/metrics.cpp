@@ -81,7 +81,7 @@ MetricsRegistry::Series* MetricsRegistry::FindSeries(Family& family, const Label
 
 Counter& MetricsRegistry::GetCounter(std::string_view name, const LabelSet& labels,
                                      std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Family& family = FamilyFor(name, MetricType::kCounter, help);
   if (Series* series = FindSeries(family, labels)) {
     return *series->counter;
@@ -95,7 +95,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name, const LabelSet& labe
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name, const LabelSet& labels,
                                  std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Family& family = FamilyFor(name, MetricType::kGauge, help);
   if (Series* series = FindSeries(family, labels)) {
     return *series->gauge;
@@ -109,7 +109,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name, const LabelSet& labels,
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name, std::vector<double> bounds,
                                          const LabelSet& labels, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Family& family = FamilyFor(name, MetricType::kHistogram, help);
   if (Series* series = FindSeries(family, labels)) {
     return *series->histogram;
@@ -122,7 +122,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name, std::vector<doub
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   for (const auto& [name, family] : families_) {
     for (const Series& series : family.series) {

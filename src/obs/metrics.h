@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace shedmon::obs {
 
@@ -149,15 +151,17 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter& GetCounter(std::string_view name, const LabelSet& labels = {},
-                      std::string_view help = "");
-  Gauge& GetGauge(std::string_view name, const LabelSet& labels = {}, std::string_view help = "");
+                      std::string_view help = "") SHEDMON_EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name, const LabelSet& labels = {}, std::string_view help = "")
+      SHEDMON_EXCLUDES(mutex_);
   Histogram& GetHistogram(std::string_view name, std::vector<double> bounds,
-                          const LabelSet& labels = {}, std::string_view help = "");
+                          const LabelSet& labels = {}, std::string_view help = "")
+      SHEDMON_EXCLUDES(mutex_);
 
   // Reads every registered series, grouped by family name (sorted), series
   // in registration order within a family. Safe to call from any thread at
   // any time, including while writers are active.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SHEDMON_EXCLUDES(mutex_);
 
  private:
   struct Series {
@@ -172,11 +176,12 @@ class MetricsRegistry {
     std::vector<Series> series;
   };
 
-  Family& FamilyFor(std::string_view name, MetricType type, std::string_view help);
-  Series* FindSeries(Family& family, const LabelSet& labels);
+  Family& FamilyFor(std::string_view name, MetricType type, std::string_view help)
+      SHEDMON_REQUIRES(mutex_);
+  Series* FindSeries(Family& family, const LabelSet& labels) SHEDMON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family, std::less<>> families_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_ SHEDMON_GUARDED_BY(mutex_);
 };
 
 }  // namespace shedmon::obs

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/cycle_clock.h"
+
 namespace shedmon::obs {
 
 namespace {
@@ -49,7 +51,7 @@ const char* StageName(Stage stage) {
 
 Tracer::Tracer(size_t spans_per_stripe)
     : capacity_(spans_per_stripe == 0 ? 1 : spans_per_stripe),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_us_(util::MonotonicNowUs()) {}
 
 Tracer::~Tracer() {
   for (Ring& ring : rings_) {
@@ -85,11 +87,7 @@ void Tracer::AttachMetrics(MetricsRegistry* metrics) {
                                         "Spans discarded because a trace ring was full");
 }
 
-uint64_t Tracer::NowUs() const {
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                   std::chrono::steady_clock::now() - epoch_)
-                                   .count());
-}
+uint64_t Tracer::NowUs() const { return util::MonotonicNowUs() - epoch_us_; }
 
 void Tracer::Record(Stage stage, uint64_t start_us, uint64_t dur_us, uint32_t bin, int64_t arg) {
   Histogram* histogram = stage_wall_us_[static_cast<size_t>(stage)];

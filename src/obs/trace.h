@@ -2,7 +2,6 @@
 
 #include <array>
 #include <atomic>
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -74,7 +73,8 @@ class Tracer {
   // here once; the registry must outlive the tracer.
   void AttachMetrics(MetricsRegistry* metrics);
 
-  // Microseconds since this tracer was constructed (steady clock).
+  // Microseconds since this tracer was constructed (util::MonotonicNowUs,
+  // the sanctioned observability-only wall clock).
   uint64_t NowUs() const;
 
   // Record a completed span [start_us, start_us + dur_us). Lock-free; safe
@@ -116,7 +116,7 @@ class Tracer {
   Slot* EnsureSlots(Ring& ring);
 
   const size_t capacity_;
-  const std::chrono::steady_clock::time_point epoch_;
+  const uint64_t epoch_us_;
   std::array<Ring, kMetricStripes> rings_;
   std::atomic<uint64_t> dropped_{0};
 

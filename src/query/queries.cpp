@@ -573,6 +573,7 @@ double TopKQuery::IntervalMisrankedPairs(const Query& reference, size_t interval
   for (const auto& [x_ip, x_est] : est.topk) {
     const auto x_true_it = truth.all.find(x_ip);
     const double x_true = x_true_it == truth.all.end() ? 0.0 : x_true_it->second;
+    // lint: order-insensitive counting qualifying pairs commutes
     for (const auto& [y_ip, y_true] : truth.all) {
       if (in_list.count(y_ip) != 0) {
         continue;
@@ -829,6 +830,7 @@ void P2pDetectorQuery::OnCustomBatch(const BatchInput& in, double fraction) {
 
 void P2pDetectorQuery::OnEndInterval(size_t /*interval_index*/) {
   std::set<net::FiveTuple> p2p;
+  // lint: order-insensitive result lands in an ordered std::set
   for (const auto& [tuple, state] : table_) {
     if (state.is_p2p) {
       p2p.insert(tuple);
@@ -1104,6 +1106,7 @@ void SuperSourcesQuery::OnEndInterval(size_t /*interval_index*/) {
   Snapshot snap;
   const double rate =
       rate_batches_ > 0 ? rate_sum_ / static_cast<double>(rate_batches_) : 1.0;
+  // lint: order-insensitive keyed assignment into snap.all commutes
   for (const auto& [src, bitmap] : fanout_) {
     snap.all[src] = bitmap.Estimate() / SafeRate(rate);
   }

@@ -1,12 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace shedmon::rt {
 
@@ -42,98 +43,107 @@ class BoundedQueue {
   // Returns false iff the item was dropped (kDropNewest on a full queue) or
   // the queue is closed. kBlock waits; kDropOldest always succeeds by
   // evicting the head.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (closed_) {
-      return false;
-    }
-    if (items_.size() >= capacity_) {
-      switch (policy_) {
-        case OverflowPolicy::kBlock:
-          not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-          if (closed_) {
-            return false;
-          }
-          break;
-        case OverflowPolicy::kDropNewest:
-          ++dropped_newest_;
-          return false;
-        case OverflowPolicy::kDropOldest:
-          items_.pop_front();
-          ++dropped_oldest_;
-          break;
+  bool Push(T item) SHEDMON_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(mutex_);
+      if (closed_) {
+        return false;
       }
+      if (items_.size() >= capacity_) {
+        switch (policy_) {
+          case OverflowPolicy::kBlock:
+            while (items_.size() >= capacity_ && !closed_) {
+              not_full_.Wait(lock);
+            }
+            if (closed_) {
+              return false;
+            }
+            break;
+          case OverflowPolicy::kDropNewest:
+            ++dropped_newest_;
+            return false;
+          case OverflowPolicy::kDropOldest:
+            items_.pop_front();
+            ++dropped_oldest_;
+            break;
+        }
+      }
+      items_.push_back(std::move(item));
     }
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained;
   // nullopt means closed-and-empty (consumer should exit).
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) {
-      return std::nullopt;
+  std::optional<T> Pop() SHEDMON_EXCLUDES(mutex_) {
+    std::optional<T> item;
+    {
+      util::MutexLock lock(mutex_);
+      while (items_.empty() && !closed_) {
+        not_empty_.Wait(lock);
+      }
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // Non-blocking variant for poll loops.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (items_.empty()) {
-      return std::nullopt;
+  std::optional<T> TryPop() SHEDMON_EXCLUDES(mutex_) {
+    std::optional<T> item;
+    {
+      util::MutexLock lock(mutex_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // Wakes blocked producers and consumers; Push fails and Pop drains then
   // returns nullopt. Idempotent.
-  void Close() {
+  void Close() SHEDMON_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  size_t Size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t Size() const SHEDMON_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return items_.size();
   }
   size_t capacity() const { return capacity_; }
   OverflowPolicy policy() const { return policy_; }
-  uint64_t dropped_newest() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped_newest() const SHEDMON_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return dropped_newest_;
   }
-  uint64_t dropped_oldest() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped_oldest() const SHEDMON_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return dropped_oldest_;
   }
 
  private:
   const size_t capacity_;
   const OverflowPolicy policy_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  uint64_t dropped_newest_ = 0;
-  uint64_t dropped_oldest_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<T> items_ SHEDMON_GUARDED_BY(mutex_);
+  uint64_t dropped_newest_ SHEDMON_GUARDED_BY(mutex_) = 0;
+  uint64_t dropped_oldest_ SHEDMON_GUARDED_BY(mutex_) = 0;
+  bool closed_ SHEDMON_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace shedmon::rt

@@ -44,4 +44,9 @@ double CyclesPerSecond() {
   return rate;
 }
 
+uint64_t MonotonicNowUs() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
 }  // namespace shedmon::util

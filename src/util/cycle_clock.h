@@ -14,6 +14,16 @@ uint64_t ReadCycles();
 // per-bin cycle budget when running against live measurements.
 double CyclesPerSecond();
 
+// Monotonic wall-clock microseconds since an arbitrary per-process epoch.
+// This is the one sanctioned wall-time source for observability-only
+// measurement (task-duration histograms, trace span timestamps): values are
+// written to metrics and traces but never read back by a decision path, so
+// they cannot perturb a run. Anything that *decides* based on time (the
+// deadline governor, retry backoff, bin pacing) must use the injectable
+// rt::Clock instead — that is what keeps those decisions replayable under a
+// ManualClock. Enforced by tools/lint/shedmon_lint.py's wall-clock rule.
+uint64_t MonotonicNowUs();
+
 // Scoped elapsed-cycle measurement around a region of code.
 class CycleTimer {
  public:

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace shedmon::util {
+
+// Annotated wrappers over std::mutex / std::condition_variable so clang's
+// thread-safety analysis (see thread_annotations.h) can see acquisitions.
+// Zero-cost: every method is an inline forward to the standard primitive.
+//
+// CondVar deliberately has no predicate overload: the analysis cannot look
+// inside a predicate lambda (it would warn on every guarded read there), so
+// waits are written as explicit loops where the guarded reads are visibly
+// under the caller's MutexLock:
+//
+//   util::MutexLock lock(mutex_);
+//   while (queue_.empty() && !stop_) {
+//     cv_.Wait(lock);
+//   }
+
+class SHEDMON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SHEDMON_ACQUIRE() { mu_.lock(); }
+  void Unlock() SHEDMON_RELEASE() { mu_.unlock(); }
+  bool TryLock() SHEDMON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock; the analysis treats the scope of a MutexLock as "mutex held".
+class SHEDMON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SHEDMON_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SHEDMON_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases the lock's mutex, blocks, and reacquires it before
+  // returning. Spurious wakeups are possible; always wait in a loop. The
+  // mutex is held across the call boundary from the analysis' point of view,
+  // which matches how callers may treat it.
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace shedmon::util

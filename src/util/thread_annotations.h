@@ -1,0 +1,68 @@
+#pragma once
+
+// Clang thread-safety annotation macros (a compile-time race detector that
+// complements the TSan CI leg). On clang builds the analysis is promoted to
+// an error (-Werror=thread-safety in cmake/ShedmonCompileOptions.cmake); on
+// other compilers every macro expands to nothing.
+//
+// libstdc++'s std::mutex/std::lock_guard carry no capability attributes, so
+// annotating raw standard types buys nothing there. Mutex-protected state in
+// shedmon therefore uses the annotated wrappers in src/util/sync.h
+// (util::Mutex / util::MutexLock / util::CondVar), and these macros on the
+// guarded members and on functions with locking contracts:
+//
+//   class Account {
+//     util::Mutex mutex_;
+//     double balance_ SHEDMON_GUARDED_BY(mutex_);
+//     void RecomputeLocked() SHEDMON_REQUIRES(mutex_);
+//     void Deposit(double amount) SHEDMON_EXCLUDES(mutex_);
+//   };
+
+#if defined(__clang__) && !defined(SWIG)
+#define SHEDMON_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SHEDMON_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// On a data member: may only be read or written while holding `x`.
+#define SHEDMON_GUARDED_BY(x) SHEDMON_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer member: the pointed-to data (not the pointer itself) is
+// protected by `x`.
+#define SHEDMON_PT_GUARDED_BY(x) SHEDMON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a function: the caller must hold the listed capabilities on entry (and
+// still holds them on exit).
+#define SHEDMON_REQUIRES(...) \
+  SHEDMON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the listed capabilities (the
+// function acquires them itself; calling with them held would deadlock).
+#define SHEDMON_EXCLUDES(...) SHEDMON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: acquires / releases the listed capabilities.
+#define SHEDMON_ACQUIRE(...) SHEDMON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SHEDMON_RELEASE(...) SHEDMON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SHEDMON_TRY_ACQUIRE(...) \
+  SHEDMON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// On a class: instances are a capability (something that can be held).
+#define SHEDMON_CAPABILITY(x) SHEDMON_THREAD_ANNOTATION(capability(x))
+
+// On a class: RAII object that holds a capability for its lifetime.
+#define SHEDMON_SCOPED_CAPABILITY SHEDMON_THREAD_ANNOTATION(scoped_lockable)
+
+// On a member mutex: documents (and enforces) lock-ordering between mutexes.
+#define SHEDMON_ACQUIRED_AFTER(...) \
+  SHEDMON_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SHEDMON_ACQUIRED_BEFORE(...) \
+  SHEDMON_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+// On a function: returns a reference to the given capability (accessors that
+// expose a mutex for callers to lock).
+#define SHEDMON_RETURN_CAPABILITY(x) SHEDMON_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (e.g. adopting a lock
+// held through a foreign handle). Use sparingly and leave a comment.
+#define SHEDMON_NO_THREAD_SAFETY_ANALYSIS \
+  SHEDMON_THREAD_ANNOTATION(no_thread_safety_analysis)

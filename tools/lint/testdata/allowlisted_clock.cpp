@@ -1,0 +1,18 @@
+// lint-test-path: src/util/cycle_clock.cpp
+//
+// Fixture: the wall-clock allowlist (src/rt/clock.*, src/util/cycle_clock.*,
+// src/obs/server.*) disables [wall-clock] for the files whose whole purpose
+// is to BE a time source — zero findings expected here. Never compiled —
+// consumed by shedmon_lint.py --self-test.
+#include <chrono>
+#include <cstdint>
+
+namespace shedmon::util {
+
+uint64_t MonotonicNowUsFixture() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+}  // namespace shedmon::util

@@ -1,0 +1,34 @@
+// lint-test-path: src/core/bad_rng.cpp
+//
+// Fixture: nondeterministic / unseeded randomness fires [rng] anywhere under
+// src/, explicitly seeded engines stay silent, the allow() annotation
+// suppresses. Never compiled — consumed by shedmon_lint.py --self-test.
+#include <cstdlib>
+#include <random>
+
+namespace shedmon::core {
+
+int BadRandom() {
+  std::random_device entropy;                 // expect: rng
+  std::mt19937 unseeded;                      // expect: rng
+  std::mt19937 braced{};                      // expect: rng
+  std::mt19937_64 wide;                       // expect: rng
+  std::default_random_engine engine(7);       // expect: rng
+  srand(42);                                  // expect: rng
+  int r = rand();                             // expect: rng
+  double d = drand48();                       // expect: rng
+
+  // Negatives: an explicit seed (or a pure type access) is fine.
+  std::mt19937 seeded(0x5eed);
+  std::mt19937_64 seeded_braced{0x5eedULL};
+  using Result = std::mt19937::result_type;
+
+  // lint: allow(rng) fixture: the annotation must suppress the rule
+  std::random_device annotated;
+
+  (void)entropy; (void)unseeded; (void)braced; (void)wide; (void)engine;
+  (void)d; (void)seeded; (void)seeded_braced; (void)annotated;
+  return r + static_cast<int>(Result{0});
+}
+
+}  // namespace shedmon::core

@@ -1,0 +1,56 @@
+// lint-test-path: src/query/bad_unordered_iter.cpp
+//
+// Fixture: range-for over unordered containers (direct members, struct
+// fields, and through a `using` alias) fires [unordered-iter]; ordered
+// containers and annotated loops stay silent. Never compiled — consumed by
+// shedmon_lint.py --self-test.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace shedmon::query {
+
+struct Truth {
+  std::unordered_set<uint64_t> all;
+};
+
+using FlowTable = std::unordered_map<uint64_t, uint64_t>;
+
+class Agg {
+ public:
+  uint64_t Total(const Truth& truth) const {
+    uint64_t sum = 0;
+    for (const auto key : truth.all) {  // expect: unordered-iter
+      sum += key;
+    }
+    for (const auto& [flow, bytes] : table_) {  // expect: unordered-iter
+      sum += bytes;
+    }
+
+    // lint: order-insensitive fixture: summation commutes
+    for (const auto& [flow, bytes] : table_) {
+      sum += bytes;
+    }
+
+    // Negatives: ordered containers and classic fors are fine.
+    for (const auto& [key, value] : sorted_) {
+      sum += value;
+    }
+    for (const uint64_t v : plain_) {
+      sum += v;
+    }
+    for (std::size_t i = 0; i < plain_.size(); ++i) {
+      sum += plain_[i];
+    }
+    return sum;
+  }
+
+ private:
+  FlowTable table_;
+  std::map<uint64_t, uint64_t> sorted_;
+  std::vector<uint64_t> plain_;
+};
+
+}  // namespace shedmon::query

@@ -1,0 +1,34 @@
+// lint-test-path: src/shed/bad_wall_clock.cpp
+//
+// Fixture: every unsanctioned time source fires [wall-clock] in a decision
+// subsystem, and the allow() annotation suppresses it. Never compiled —
+// consumed by shedmon_lint.py --self-test.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+namespace shedmon::shed {
+
+void BadNow() {
+  auto a = std::chrono::steady_clock::now();           // expect: wall-clock
+  auto b = std::chrono::system_clock::now();           // expect: wall-clock
+  auto c = std::chrono::high_resolution_clock::now();  // expect: wall-clock
+  std::time_t t = std::time(nullptr);                  // expect: wall-clock
+  std::time_t u = time(nullptr);                       // expect: wall-clock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);                          // expect: wall-clock
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);                 // expect: wall-clock
+  std::tm* parts = localtime(&t);                      // expect: wall-clock
+
+  // lint: allow(wall-clock) fixture: the annotation must suppress the rule
+  auto sanctioned_by_annotation = std::chrono::steady_clock::now();
+
+  // Negatives: identifiers that merely contain "time" stay silent.
+  double runtime (0.0);
+  (void)runtime;
+  (void)a; (void)b; (void)c; (void)u; (void)parts;
+  (void)sanctioned_by_annotation;
+}
+
+}  // namespace shedmon::shed
