@@ -28,6 +28,25 @@ void CheckWritable(const std::string& path, std::string_view what) {
     throw ConfigError(std::string(what) + ": cannot open '" + path + "' for writing");
   }
 }
+
+// Adapts a Pipeline to the capture loop's sink interface. A plain borrowing
+// adapter (not a Pipeline base class) keeps the facade non-virtual; every
+// call arrives on the capture consumer thread, which is the coordinator
+// while capture runs.
+class PipelineIngestSink final : public capture::IngestSink {
+ public:
+  explicit PipelineIngestSink(Pipeline* pipeline) : pipeline_(pipeline) {}
+
+  void PushPinned(const net::Packet& packet) override { pipeline_->PushPinned(packet); }
+  void AdvanceTime(uint64_t target_us) override { pipeline_->AdvanceTime(target_us); }
+  uint64_t NextBin() const override { return pipeline_->next_bin(); }
+  uint64_t OpenBinStartUs() const override {
+    return pipeline_->next_bin() * pipeline_->time_bin_us();
+  }
+
+ private:
+  Pipeline* pipeline_;
+};
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -216,6 +235,12 @@ PipelineBuilder& PipelineBuilder::ServeOn(uint16_t port) {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::CaptureFrom(capture::CaptureConfig config) {
+  has_capture_ = true;
+  capture_config_ = std::move(config);
+  return *this;
+}
+
 void PipelineBuilder::ApplyObsOptions(Pipeline& pipeline) const {
   if (tracing_) {
     pipeline.EnableTracing();
@@ -263,6 +288,9 @@ std::unique_ptr<Pipeline> PipelineBuilder::RestoreOrBuild(const std::string& pat
   }
   ApplyRtOptions(*pipeline);
   ApplyObsOptions(*pipeline);
+  if (has_capture_) {
+    pipeline->StartCapture(capture_config_);
+  }
   return pipeline;
 }
 
@@ -341,6 +369,16 @@ void PipelineBuilder::Validate() const {
   if (deadline_enabled_ && !(governor_config_.budget_fraction > 0.0)) {
     throw ConfigError("deadline budget_fraction must be positive");
   }
+  if (has_capture_) {
+    if (capture_config_.sources.empty()) {
+      throw ConfigError("CaptureFrom: config has no sources");
+    }
+    for (const capture::SourceSpec& spec : capture_config_.sources) {
+      if (spec.kind == capture::SourceSpec::Kind::kPcapFile && spec.path.empty()) {
+        throw ConfigError("CaptureFrom: pcap source needs a path");
+      }
+    }
+  }
   if (checkpoint_every_ > 0 && checkpoint_path_.empty()) {
     throw ConfigError("CheckpointEvery without CheckpointTo: no checkpoint path set");
   }
@@ -412,6 +450,9 @@ Pipeline::Pipeline(const PipelineBuilder& builder)
   }
   builder.ApplyRtOptions(*this);
   builder.ApplyObsOptions(*this);
+  if (builder.has_capture_) {
+    StartCapture(builder.capture_config_);
+  }
   RefreshStats();
 }
 
@@ -519,6 +560,12 @@ void Pipeline::Push(const net::Packet& packet) {
   AppendRecord(record, packet.payload);
 }
 
+void Pipeline::PushPinned(const net::Packet& packet) {
+  net::PacketRecord record = *packet.rec;
+  record.payload_len = packet.payload_len;
+  AppendRecord(record, packet.payload, /*pin_payload=*/true);
+}
+
 void Pipeline::Push(std::span<const net::Packet> packets) {
   for (const net::Packet& packet : packets) {
     Push(packet);
@@ -541,7 +588,8 @@ void Pipeline::Push(std::span<const net::PacketRecord> records) {
   }
 }
 
-void Pipeline::AppendRecord(const net::PacketRecord& record, const uint8_t* payload_bytes) {
+void Pipeline::AppendRecord(const net::PacketRecord& record, const uint8_t* payload_bytes,
+                            bool pin_payload) {
   EnsureOpen("Push");
   const uint64_t bin = record.ts_us / bin_us_;
   if (bin < open_bin_) {
@@ -576,12 +624,15 @@ void Pipeline::AppendRecord(const net::PacketRecord& record, const uint8_t* payl
     }
   }
   records_.push_back(record);
+  const bool pin = pin_payload && payload_bytes != nullptr && record.payload_len > 0;
+  pinned_.push_back(pin ? payload_bytes : nullptr);
   payload_offsets_.push_back(arena_.size());
-  if (record.payload_len > 0) {
+  if (record.payload_len > 0 && !pin) {
     arena_.resize(arena_.size() + record.payload_len);
     uint8_t* dst = arena_.data() + payload_offsets_.back();
     if (payload_bytes != nullptr) {
       std::copy_n(payload_bytes, record.payload_len, dst);
+      ingest_copied_bytes_ += record.payload_len;
     } else {
       trace::MaterializePayload(record, dst);
     }
@@ -613,8 +664,11 @@ void Pipeline::CloseOpenBin() {
     net::Packet packet;
     packet.rec = &records_[i];
     packet.payload_len = records_[i].payload_len;
-    packet.payload =
-        records_[i].payload_len > 0 ? arena_.data() + payload_offsets_[i] : nullptr;
+    // Pinned payloads alias the producer's buffer (capture slots, alive
+    // until this bin closes); everything else lives in the arena.
+    packet.payload = records_[i].payload_len == 0 ? nullptr
+                     : pinned_[i] != nullptr      ? pinned_[i]
+                                                  : arena_.data() + payload_offsets_[i];
     batch_.packets.push_back(packet);
   }
 
@@ -647,6 +701,7 @@ void Pipeline::CloseOpenBin() {
   records_.clear();
   payload_offsets_.clear();
   arena_.clear();
+  pinned_.clear();
   ingest_head_ = 0;
   wire_bytes_ = 0;
   ++bins_processed_;
@@ -705,6 +760,7 @@ void Pipeline::Finish() {
   if (finished_) {
     return;
   }
+  StopCapture();  // drain everything already captured into the open bin
   if (open_records() > 0) {
     CloseOpenBin();
   }
@@ -777,6 +833,12 @@ PipelineStats Pipeline::ComputeStats() const {
   stats.deadline_misses = governor_ != nullptr ? governor_->deadline_misses() : 0;
   stats.degradation_level = governor_ != nullptr ? governor_->level() : 0;
   stats.checkpoints = checkpoints_written_;
+  stats.ingest_copied_bytes = ingest_copied_bytes_;
+  if (capture_ != nullptr) {
+    const capture::CaptureStats capture_stats = capture_->stats();
+    stats.capture_packets = capture_stats.packets;
+    stats.capture_dropped = capture_stats.dropped();
+  }
   return stats;
 }
 
@@ -789,6 +851,38 @@ void Pipeline::RefreshStats() {
   util::MutexLock lock(stats_mutex_);
   published_stats_ = stats;
   published_quarantined_sinks_ = quarantined;
+}
+
+void Pipeline::StartCapture(capture::CaptureConfig config) {
+  EnsureOpen("StartCapture");
+  if (capture_ != nullptr) {
+    throw ConfigError("Pipeline::StartCapture: capture was already started");
+  }
+  if (config.clock == nullptr) {
+    config.clock = clock_;  // may still be null; the loop falls back to DefaultClock
+  }
+  capture_sink_ = std::make_unique<PipelineIngestSink>(this);
+  try {
+    auto loop = std::make_unique<capture::CaptureLoop>(std::move(config), capture_sink_.get(),
+                                                       &system_->metrics(), tracer_.get());
+    loop->Start();
+    capture_ = std::move(loop);
+  } catch (const std::exception& e) {
+    capture_sink_.reset();
+    throw ConfigError(std::string("capture: ") + e.what());
+  }
+  RefreshStats();
+}
+
+void Pipeline::StopCapture() {
+  if (capture_ != nullptr && capture_->running()) {
+    capture_->Stop();
+    RefreshStats();
+  }
+}
+
+capture::CaptureStats Pipeline::capture_stats() const {
+  return capture_ != nullptr ? capture_->stats() : capture::CaptureStats{};
 }
 
 void Pipeline::SetLogger(std::unique_ptr<obs::JsonlLogger> logger) {
@@ -1046,6 +1140,12 @@ void StatsToJson(const PipelineStats& stats, size_t quarantined_sinks, std::ostr
   out << '"' << rt::DegradeActionName(static_cast<uint8_t>(stats.degradation_level)) << '"';
   AppendJsonKey(out, first, "checkpoints");
   out << stats.checkpoints;
+  AppendJsonKey(out, first, "capture_packets");
+  out << stats.capture_packets;
+  AppendJsonKey(out, first, "capture_dropped");
+  out << stats.capture_dropped;
+  AppendJsonKey(out, first, "ingest_copied_bytes");
+  out << stats.ingest_copied_bytes;
   AppendJsonKey(out, first, "quarantined_sinks");
   out << quarantined_sinks;
   out << '}';

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/api/config.h"
+#include "src/capture/capture.h"
 #include "src/core/cost.h"
 #include "src/core/runner.h"
 #include "src/core/system.h"
@@ -70,6 +71,13 @@ struct PipelineStats {
   uint64_t deadline_misses = 0;  // bins that overran their wall-clock budget
   int degradation_level = 0;     // current ladder rung (0 = none)
   size_t checkpoints = 0;        // crash-safe checkpoints written
+  // Live-capture front-end tallies (all zero without CaptureFrom).
+  uint64_t capture_packets = 0;  // frames decoded and pushed by the capture loop
+  uint64_t capture_dropped = 0;  // capture-side losses (queue/slot/late/decode)
+  // Payload bytes memcpy'd out of caller buffers at ingestion. The pinned
+  // capture path keeps this at zero — the measurable form of "zero
+  // per-packet copies between the wire and the query batch".
+  uint64_t ingest_copied_bytes = 0;
 };
 
 // Streaming result sink: OnBin fires once per closed time bin, in bin order,
@@ -180,6 +188,16 @@ class PipelineBuilder {
   // throws ConfigError when the port cannot be bound (e.g. already in use).
   PipelineBuilder& ServeOn(uint16_t port);
 
+  // ---- Live capture (src/capture) -----------------------------------------
+  // Attaches the live capture front-end: Build() opens the configured
+  // sources (UDP/TCP listeners, pcap file follow) and starts a consumer
+  // thread that decodes frames in pre-allocated slots and pushes pinned
+  // packet views into the pipeline — zero per-packet payload copies — while
+  // driving AdvanceTime from the capture clock (the pipeline's rt clock
+  // unless the capture config injects its own). Build() throws ConfigError
+  // when a listener cannot bind or a pcap file cannot be opened.
+  PipelineBuilder& CaptureFrom(capture::CaptureConfig config);
+
   // ---- Real-time robustness (src/rt) --------------------------------------
   // Per-bin wall-clock deadline enforcement: each closed bin must finish
   // processing within budget_fraction x the bin duration; overruns escalate
@@ -289,6 +307,9 @@ class PipelineBuilder {
   bool tracing_ = false;
   bool serve_enabled_ = false;
   uint16_t serve_port_ = 0;
+  // capture option; started by Build()/RestoreOrBuild() after rt and obs.
+  bool has_capture_ = false;
+  capture::CaptureConfig capture_config_;
 
   // Shared by Build() and RestoreOrBuild(): arms the rt options on a
   // freshly built or freshly restored pipeline.
@@ -361,6 +382,14 @@ class Pipeline {
   void Push(std::span<const net::Packet> packets);
   // Convenience: pushes a whole time-sorted trace record by record.
   void Push(const trace::Trace& trace);
+
+  // Zero-copy variant for callers that guarantee packet.payload stays valid
+  // until the packet's bin has closed (the capture front-end's slot
+  // contract). The record is still copied; only the payload bytes are
+  // borrowed instead of landing in the arena. A null payload with
+  // payload_len > 0 falls back to deterministic materialization, exactly
+  // like Push.
+  void PushPinned(const net::Packet& packet);
 
   // Raw-record compatibility shims. Deprecated: the record-vs-packet split
   // made payload handling ambiguous at the API surface (records materialize
@@ -439,6 +468,23 @@ class Pipeline {
   // from the coordinator thread.
   void SetLogger(std::unique_ptr<obs::JsonlLogger> logger);
 
+  // ---- Live capture (src/capture) -----------------------------------------
+  // Starts the live capture front-end feeding this pipeline (normally via
+  // PipelineBuilder::CaptureFrom). The capture consumer thread becomes the
+  // coordinator: do not call Push/AdvanceTime/Finish from other threads
+  // while capture runs. Enable tracing before starting capture — the loop
+  // caches the tracer once. Single-shot; throws ConfigError when a source
+  // cannot open or capture was already started.
+  void StartCapture(capture::CaptureConfig config);
+  // Stops the sources and drains everything already captured into the
+  // pipeline (idempotent; Finish and destruction also stop capture). The
+  // open bin stays open — Finish or AdvanceTime closes it.
+  void StopCapture();
+  // The running loop, null before StartCapture. Ephemeral listener ports
+  // are read back through capture()->port(i).
+  const capture::CaptureLoop* capture() const { return capture_.get(); }
+  capture::CaptureStats capture_stats() const;
+
   // ---- Real-time robustness (src/rt) --------------------------------------
   // Attach (or replace) the deadline governor mid-run; the rt configuration
   // is process-local and deliberately not serialized into snapshots, so a
@@ -515,7 +561,10 @@ class Pipeline {
                        std::unique_ptr<query::Query> reference);
   // Appends one record to the open bin, closing earlier bins first; null
   // payload bytes mean "materialize deterministically from the record".
-  void AppendRecord(const net::PacketRecord& record, const uint8_t* payload_bytes);
+  // pin_payload borrows the payload bytes instead of copying them into the
+  // arena (PushPinned's contract: they outlive the bin).
+  void AppendRecord(const net::PacketRecord& record, const uint8_t* payload_bytes,
+                    bool pin_payload = false);
   // Closes bins until `bin_index` is the open one.
   void FlushThrough(uint64_t bin_index);
   // Processes the open bin's packets (possibly none), advances the reference
@@ -552,6 +601,9 @@ class Pipeline {
   std::vector<net::PacketRecord> records_;
   std::vector<size_t> payload_offsets_;
   std::vector<uint8_t> arena_;
+  // Parallel to records_: a non-null entry is a borrowed (pinned) payload
+  // view that replaces the arena bytes for that record (PushPinned).
+  std::vector<const uint8_t*> pinned_;
   size_t ingest_head_ = 0;
   uint64_t wire_bytes_ = 0;
   trace::Batch batch_;  // reused scratch; views point into records_/arena_
@@ -565,6 +617,7 @@ class Pipeline {
   size_t ingest_cap_ = 0;
   rt::OverflowPolicy ingest_policy_ = rt::OverflowPolicy::kDropNewest;
   uint64_t ingest_dropped_ = 0;
+  uint64_t ingest_copied_bytes_ = 0;
   obs::Counter* m_ingest_dropped_ = nullptr;
   std::string checkpoint_path_;
   size_t checkpoint_every_ = 0;
@@ -603,6 +656,12 @@ class Pipeline {
   size_t published_quarantined_sinks_ SHEDMON_GUARDED_BY(stats_mutex_) = 0;
   std::unique_ptr<obs::Tracer> tracer_;
   std::atomic<obs::Tracer*> tracer_view_{nullptr};
+  // Capture front-end, declared just before server_ so destruction stops
+  // the HTTP endpoint first, then drains capture, and only then tears down
+  // the state both of them read. The loop (and thus slot memory backing any
+  // still-pinned payload views) outlives every open bin.
+  std::unique_ptr<capture::IngestSink> capture_sink_;
+  std::unique_ptr<capture::CaptureLoop> capture_;
   std::unique_ptr<obs::ObsServer> server_;
 };
 

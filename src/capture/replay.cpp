@@ -1,0 +1,142 @@
+#include "src/capture/replay.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "src/capture/capture.h"
+#include "src/trace/pcap.h"
+
+namespace shedmon::capture {
+
+namespace {
+
+void PutBe32(std::vector<uint8_t>& out, size_t at, uint32_t value) {
+  out[at] = static_cast<uint8_t>(value >> 24);
+  out[at + 1] = static_cast<uint8_t>(value >> 16);
+  out[at + 2] = static_cast<uint8_t>(value >> 8);
+  out[at + 3] = static_cast<uint8_t>(value);
+}
+
+void PutBe64(std::vector<uint8_t>& out, size_t at, uint64_t value) {
+  PutBe32(out, at, static_cast<uint32_t>(value >> 32));
+  PutBe32(out, at + 4, static_cast<uint32_t>(value));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+// Paces packet `index` against the replay start: sleeps until the record's
+// scheduled send time. Checked in small strides so the sleep error stays
+// bounded without a syscall per packet.
+class Pacer {
+ public:
+  Pacer(uint64_t pps, rt::Clock* clock) : pps_(pps), clock_(clock) {
+    if (pps_ > 0) {
+      start_us_ = clock_->NowUs();
+    }
+  }
+
+  void Tick(size_t index) {
+    if (pps_ == 0 || (index & 31) != 0) {
+      return;
+    }
+    const uint64_t target = start_us_ + index * 1'000'000 / pps_;
+    const uint64_t now = clock_->NowUs();
+    if (target > now) {
+      clock_->SleepUs(target - now);
+    }
+  }
+
+ private:
+  const uint64_t pps_;
+  rt::Clock* clock_;
+  uint64_t start_us_ = 0;
+};
+
+bool SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t ReplayTraceUdp(const trace::Trace& trace, uint16_t port, const ReplayOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("replay: udp socket() failed: " + std::string(std::strerror(errno)));
+  }
+  const sockaddr_in addr = LoopbackAddr(port);
+  std::shared_ptr<rt::Clock> clock = options.clock ? options.clock : rt::DefaultClock();
+  Pacer pacer(options.pps, clock.get());
+  size_t sent = 0;
+  std::vector<uint8_t> datagram;
+  for (size_t i = 0; i < trace.packets.size(); ++i) {
+    pacer.Tick(i);
+    const std::vector<uint8_t> frame = trace::SynthesizeFrame(trace.packets[i]);
+    datagram.resize(kDatagramHeaderLen + frame.size());
+    PutBe32(datagram, 0, kDatagramMagic);
+    PutBe64(datagram, 4, trace.packets[i].ts_us);
+    std::memcpy(datagram.data() + kDatagramHeaderLen, frame.data(), frame.size());
+    const ssize_t n = ::sendto(fd, datagram.data(), datagram.size(), 0,
+                               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (n == static_cast<ssize_t>(datagram.size())) {
+      ++sent;
+    }
+  }
+  ::close(fd);
+  return sent;
+}
+
+size_t ReplayTraceTcp(const trace::Trace& trace, uint16_t port, const ReplayOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("replay: tcp socket() failed: " + std::string(std::strerror(errno)));
+  }
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("replay: cannot connect to 127.0.0.1:" + std::to_string(port) +
+                             ": " + why);
+  }
+  std::shared_ptr<rt::Clock> clock = options.clock ? options.clock : rt::DefaultClock();
+  Pacer pacer(options.pps, clock.get());
+  size_t sent = 0;
+  std::vector<uint8_t> record;
+  for (size_t i = 0; i < trace.packets.size(); ++i) {
+    pacer.Tick(i);
+    const std::vector<uint8_t> frame = trace::SynthesizeFrame(trace.packets[i]);
+    record.resize(kStreamHeaderLen + frame.size());
+    PutBe32(record, 0, kStreamMagic);
+    PutBe32(record, 4, static_cast<uint32_t>(frame.size()));
+    PutBe64(record, 8, trace.packets[i].ts_us);
+    std::memcpy(record.data() + kStreamHeaderLen, frame.data(), frame.size());
+    if (!SendAll(fd, record.data(), record.size())) {
+      break;  // receiver gone; report what made it out
+    }
+    ++sent;
+  }
+  ::close(fd);
+  return sent;
+}
+
+}  // namespace shedmon::capture

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/rt/clock.h"
+#include "src/trace/generator.h"
+
+namespace shedmon::capture {
+
+// Trace replay senders: the loopback feeders for the capture front-end.
+// Each record is synthesized into wire bytes (trace::SynthesizeFrame) and
+// sent with the replay framing from capture.h, carrying the record's
+// trace-relative timestamp — so the receiver bins live traffic exactly as an
+// offline Pipeline::Push of the same trace would.
+
+struct ReplayOptions {
+  // Send rate in packets per second; 0 replays as fast as the socket takes
+  // them. Pacing sleeps on `clock` (null: the shared rt::DefaultClock), so
+  // an injected ManualClock makes a paced replay free of real wall time.
+  uint64_t pps = 0;
+  std::shared_ptr<rt::Clock> clock;
+};
+
+// One datagram per record to 127.0.0.1:port. Lossy transport: the kernel
+// may drop under burst. Returns packets sent; throws std::runtime_error if
+// the socket cannot be created.
+size_t ReplayTraceUdp(const trace::Trace& trace, uint16_t port, const ReplayOptions& options = {});
+
+// One length-framed record per packet over a single connection to
+// 127.0.0.1:port. Lossless transport. Returns packets sent; throws
+// std::runtime_error if the connection fails.
+size_t ReplayTraceTcp(const trace::Trace& trace, uint16_t port, const ReplayOptions& options = {});
+
+}  // namespace shedmon::capture

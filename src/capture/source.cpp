@@ -1,0 +1,407 @@
+#include "src/capture/source.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "src/net/frame.h"
+
+namespace shedmon::capture {
+
+namespace {
+
+// Listener bind shared by the UDP and TCP sources: loopback only (the
+// capture front-end ingests replay/feed traffic, it is not an exposed
+// service) and, like ObsServer, deliberately no SO_REUSEADDR so a port
+// already in use fails loudly at Open time.
+uint16_t BindLoopback(int fd, uint16_t port, const char* what) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    throw std::runtime_error("capture: cannot bind " + std::string(what) + " 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return ntohs(addr.sin_port);
+}
+
+// Reader threads poll with a short real-time tick so SignalStop is observed
+// promptly without waking per-packet.
+constexpr int kPollMs = 100;
+
+}  // namespace
+
+const char* SourceKindName(SourceSpec::Kind kind) {
+  switch (kind) {
+    case SourceSpec::Kind::kUdp:
+      return "udp";
+    case SourceSpec::Kind::kTcp:
+      return "tcp";
+    case SourceSpec::Kind::kPcapFile:
+      return "pcap";
+  }
+  return "unknown";
+}
+
+CaptureSource::CaptureSource(const SourceSpec& spec, CaptureShared* shared)
+    : spec_(spec), shared_(shared) {}
+
+CaptureSource::~CaptureSource() {
+  if (thread_.joinable()) {
+    SignalStop();
+    thread_.join();
+  }
+}
+
+void CaptureSource::Start() { thread_ = std::thread([this] { Run(); }); }
+
+void CaptureSource::SignalStop() {
+  {
+    util::MutexLock lock(stop_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  stop_cv_.NotifyAll();
+}
+
+void CaptureSource::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+bool CaptureSource::WaitStop(uint64_t us) {
+  util::MutexLock lock(stop_mutex_);
+  if (!stop_.load(std::memory_order_relaxed)) {
+    stop_cv_.WaitFor(lock, us);
+  }
+  return stop_.load(std::memory_order_relaxed);
+}
+
+bool CaptureSource::AcquireSlot(uint32_t* index) {
+  std::optional<uint32_t> slot;
+  if (shared_->overflow == rt::OverflowPolicy::kBlock) {
+    slot = shared_->pool.AcquireBlocking();  // nullopt only once the pool closes
+  } else {
+    slot = shared_->pool.TryAcquire();
+    if (!slot.has_value()) {
+      CaptureCounters::Bump(shared_->counters.dropped_no_slot,
+                            shared_->counters.m_dropped_no_slot);
+    }
+  }
+  if (!slot.has_value()) {
+    return false;
+  }
+  *index = *slot;
+  return true;
+}
+
+void CaptureSource::Emit(uint32_t index) {
+  std::optional<uint32_t> evicted;
+  if (!shared_->ring.Push(index, &evicted)) {
+    shared_->pool.Release(index);
+    CaptureCounters::Bump(shared_->counters.dropped_queue, shared_->counters.m_dropped_queue);
+  }
+  if (evicted.has_value()) {
+    shared_->pool.Release(*evicted);
+    CaptureCounters::Bump(shared_->counters.dropped_queue, shared_->counters.m_dropped_queue);
+  }
+}
+
+void CaptureSource::CountFrame(uint64_t frame_bytes) {
+  shared_->counters.frames.fetch_add(1, std::memory_order_relaxed);
+  shared_->counters.bytes.fetch_add(frame_bytes, std::memory_order_relaxed);
+  if (m_frames_ != nullptr) {
+    m_frames_->Increment();
+  }
+  if (m_bytes_ != nullptr) {
+    m_bytes_->Add(static_cast<double>(frame_bytes));
+  }
+}
+
+// ---------------------------------------------------------------- UdpSource
+
+UdpSource::~UdpSource() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void UdpSource::Open() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("capture: udp socket() failed: " + std::string(std::strerror(errno)));
+  }
+  // A burst of replayed datagrams lands faster than the consumer paces bins;
+  // a deep kernel buffer keeps the lossless (kBlock) path actually lossless.
+  const int rcvbuf = 8 * 1024 * 1024;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  try {
+    port_ = BindLoopback(fd_, spec().port, "udp");
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+void UdpSource::Run() {
+  std::vector<uint8_t> scratch(shared().pool.snap_bytes());
+  while (!stopping()) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, kPollMs) <= 0) {
+      continue;
+    }
+    uint32_t index = 0;
+    if (!AcquireSlot(&index)) {
+      if (stopping()) {
+        break;
+      }
+      // No slot under a drop policy: the datagram is lost either way, but it
+      // must still leave the socket buffer or poll() spins hot forever.
+      (void)::recv(fd_, scratch.data(), scratch.size(), 0);
+      continue;
+    }
+    CaptureSlot& slot = shared().pool.at(index);
+    // MSG_TRUNC makes recv report the datagram's full length even when the
+    // slot is shorter, so snaplen truncation is detected, not silent.
+    const ssize_t n = ::recv(fd_, slot.bytes.data(), slot.bytes.size(), MSG_TRUNC);
+    if (n <= 0) {
+      shared().pool.Release(index);
+      continue;
+    }
+    const uint32_t have =
+        static_cast<uint32_t>(std::min<size_t>(static_cast<size_t>(n), slot.bytes.size()));
+    if (static_cast<size_t>(n) > slot.bytes.size()) {
+      CaptureCounters::Bump(shared().counters.truncated, shared().counters.m_truncated);
+    }
+    const uint8_t* data = slot.bytes.data();
+    if (have >= kDatagramHeaderLen && net::ReadBe32(data) == kDatagramMagic) {
+      slot.ts_us = net::ReadBe64(data + 4);
+      slot.has_ts = true;
+      slot.frame_off = static_cast<uint32_t>(kDatagramHeaderLen);
+      slot.frame_len = have - static_cast<uint32_t>(kDatagramHeaderLen);
+    } else {
+      // Raw frame with no replay header; the consumer stamps arrival time.
+      slot.has_ts = false;
+      slot.frame_off = 0;
+      slot.frame_len = have;
+    }
+    CountFrame(slot.frame_len);
+    Emit(index);
+  }
+}
+
+// ---------------------------------------------------------------- TcpSource
+
+TcpSource::~TcpSource() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+void TcpSource::Open() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("capture: tcp socket() failed: " + std::string(std::strerror(errno)));
+  }
+  try {
+    port_ = BindLoopback(listen_fd_, spec().port, "tcp");
+    if (::listen(listen_fd_, 4) != 0) {
+      throw std::runtime_error("capture: tcp listen() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+  } catch (...) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw;
+  }
+}
+
+void TcpSource::Run() {
+  while (!stopping()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, kPollMs) <= 0) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    ServeClient(client);
+    ::close(client);
+  }
+}
+
+bool TcpSource::ReadFull(int fd, uint8_t* dst, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    if (stopping()) {
+      return false;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      return false;
+    }
+    if (ready == 0) {
+      continue;
+    }
+    const ssize_t n = ::recv(fd, dst + got, len - got, 0);
+    if (n <= 0) {
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpSource::Discard(int fd, size_t len) {
+  uint8_t scratch[4096];
+  while (len > 0) {
+    const size_t chunk = std::min(len, sizeof(scratch));
+    if (!ReadFull(fd, scratch, chunk)) {
+      return false;
+    }
+    len -= chunk;
+  }
+  return true;
+}
+
+void TcpSource::ServeClient(int fd) {
+  uint8_t header[kStreamHeaderLen];
+  while (!stopping()) {
+    if (!ReadFull(fd, header, sizeof(header))) {
+      return;  // clean EOF at a record boundary, peer error, or stopping
+    }
+    if (net::ReadBe32(header) != kStreamMagic) {
+      // A desynced (or foreign) length-framed stream cannot be resynced;
+      // drop the connection rather than ingest garbage.
+      CaptureCounters::Bump(shared().counters.dropped_decode,
+                            shared().counters.m_dropped_decode);
+      return;
+    }
+    const uint32_t frame_len = net::ReadBe32(header + 4);
+    const uint64_t ts_us = net::ReadBe64(header + 8);
+    if (frame_len == 0 || frame_len > kMaxFrameBytes) {
+      CaptureCounters::Bump(shared().counters.dropped_decode,
+                            shared().counters.m_dropped_decode);
+      return;
+    }
+    uint32_t index = 0;
+    if (!AcquireSlot(&index)) {
+      if (stopping()) {
+        return;
+      }
+      // Drop policies: the frame is lost, but its bytes must leave the
+      // stream so the next record header lines up.
+      if (!Discard(fd, frame_len)) {
+        return;
+      }
+      continue;
+    }
+    CaptureSlot& slot = shared().pool.at(index);
+    const uint32_t keep = static_cast<uint32_t>(std::min<size_t>(frame_len, slot.bytes.size()));
+    if (!ReadFull(fd, slot.bytes.data(), keep)) {
+      shared().pool.Release(index);
+      return;
+    }
+    bool stream_ok = true;
+    if (keep < frame_len) {
+      CaptureCounters::Bump(shared().counters.truncated, shared().counters.m_truncated);
+      stream_ok = Discard(fd, frame_len - keep);
+    }
+    slot.ts_us = ts_us;
+    slot.has_ts = true;
+    slot.frame_off = 0;
+    slot.frame_len = keep;
+    CountFrame(keep);
+    Emit(index);
+    if (!stream_ok) {
+      return;
+    }
+  }
+}
+
+// --------------------------------------------------------- PcapFollowSource
+
+void PcapFollowSource::Open() {
+  reader_ = std::make_unique<trace::PcapReader>(spec().path);  // throws on a bad file
+}
+
+void PcapFollowSource::Run() {
+  trace::PcapReader::RecordInfo info;
+  bool have_first = false;
+  uint64_t first_ts = 0;
+  while (!stopping()) {
+    // The file is durable, so a full pool is never a drop for this source:
+    // wait for a slot (briefly, under drop policies) and re-read.
+    std::optional<uint32_t> index;
+    if (shared().overflow == rt::OverflowPolicy::kBlock) {
+      index = shared().pool.AcquireBlocking();
+      if (!index.has_value()) {
+        return;  // pool closed: shutting down
+      }
+    } else {
+      index = shared().pool.TryAcquire();
+      if (!index.has_value()) {
+        WaitStop(1000);
+        continue;
+      }
+    }
+    CaptureSlot& slot = shared().pool.at(*index);
+    const trace::PcapReader::Status status =
+        reader_->Next(slot.bytes.data(), slot.bytes.size(), &info);
+    switch (status) {
+      case trace::PcapReader::Status::kRecord: {
+        if (!have_first) {
+          have_first = true;
+          first_ts = info.ts_us;
+        }
+        // Rebase to the first record, exactly like trace::ImportPcap.
+        slot.ts_us = info.ts_us >= first_ts ? info.ts_us - first_ts : 0;
+        slot.has_ts = true;
+        slot.frame_off = 0;
+        slot.frame_len = info.captured;
+        if (info.captured < info.incl_len) {
+          CaptureCounters::Bump(shared().counters.truncated, shared().counters.m_truncated);
+        }
+        CountFrame(info.captured);
+        Emit(*index);
+        break;
+      }
+      case trace::PcapReader::Status::kEof:
+      case trace::PcapReader::Status::kAwait:
+        // Caught up with the writer (or mid-record); wait for growth.
+        shared().pool.Release(*index);
+        WaitStop(5000);
+        break;
+      case trace::PcapReader::Status::kCorrupt:
+        // An impossible record length means the file is damaged from here
+        // on; following further would ingest garbage. Stop this source.
+        shared().pool.Release(*index);
+        CaptureCounters::Bump(shared().counters.dropped_decode,
+                              shared().counters.m_dropped_decode);
+        return;
+    }
+  }
+}
+
+}  // namespace shedmon::capture

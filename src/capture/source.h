@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/capture/capture.h"
+#include "src/capture/slots.h"
+#include "src/trace/pcap.h"
+#include "src/util/sync.h"
+
+namespace shedmon::capture {
+
+// One capture endpoint running its own reader thread. Sources never decode:
+// they move bytes from the transport into a slot, stamp the embedded replay
+// timestamp if present, and hand the slot index to the ring. Decode and
+// binning live on the single consumer thread.
+class CaptureSource {
+ public:
+  CaptureSource(const SourceSpec& spec, CaptureShared* shared);
+  virtual ~CaptureSource();
+  CaptureSource(const CaptureSource&) = delete;
+  CaptureSource& operator=(const CaptureSource&) = delete;
+
+  // Bind/listen/open the transport. Throws std::runtime_error on failure;
+  // called before any thread starts so errors surface synchronously.
+  virtual void Open() = 0;
+
+  void Start();       // spawn the reader thread (Open must have succeeded)
+  void SignalStop();  // flag + wake; does not join
+  void Join();        // join the reader thread (SignalStop first)
+
+  // Bound local port (listeners; 0 for file sources). Valid after Open.
+  virtual uint16_t port() const { return 0; }
+  const SourceSpec& spec() const { return spec_; }
+
+  // Mirror counters for shedmon_capture_{frames,bytes}_total{source=...};
+  // may stay null when no registry is attached.
+  void SetThroughputCounters(obs::Counter* frames, obs::Counter* bytes) {
+    m_frames_ = frames;
+    m_bytes_ = bytes;
+  }
+
+ protected:
+  virtual void Run() = 0;
+
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+  // Sleeps up to `us` real microseconds, returning early (true) if stopped.
+  // Deliberately NOT the injected rt clock: a ManualClock's SleepUs advances
+  // virtual time, and source retry pacing must never move the bin timeline.
+  bool WaitStop(uint64_t us);
+
+  // Pulls a free slot according to the overflow policy: kBlock parks until
+  // one frees (or the pool closes), the drop policies fail fast and count
+  // dropped_no_slot. False means the caller must discard the frame.
+  bool AcquireSlot(uint32_t* index);
+
+  // Accounts the filled slot and pushes its index to the ring, recycling the
+  // slot (and counting dropped_queue) on overflow or eviction.
+  void Emit(uint32_t index);
+
+  // Throughput accounting for one accepted frame.
+  void CountFrame(uint64_t frame_bytes);
+
+  CaptureShared& shared() { return *shared_; }
+
+ private:
+  const SourceSpec spec_;
+  CaptureShared* shared_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  util::Mutex stop_mutex_;
+  util::CondVar stop_cv_;
+  obs::Counter* m_frames_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+};
+
+// Datagram listener on 127.0.0.1. One frame per datagram, optionally
+// prefixed with the kDatagramMagic replay header. Datagrams longer than the
+// slot are truncated (MSG_TRUNC) and counted.
+class UdpSource final : public CaptureSource {
+ public:
+  UdpSource(const SourceSpec& spec, CaptureShared* shared) : CaptureSource(spec, shared) {}
+  ~UdpSource() override;
+
+  void Open() override;
+  uint16_t port() const override { return port_; }
+
+ protected:
+  void Run() override;
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Stream listener on 127.0.0.1 carrying length-framed records (kStreamMagic).
+// Lossless transport: with the kBlock policy nothing is dropped, which is
+// what makes the TCP path bit-identical to offline replay. Serves one client
+// at a time — the framing is a replay/feed protocol, not a general server.
+class TcpSource final : public CaptureSource {
+ public:
+  TcpSource(const SourceSpec& spec, CaptureShared* shared) : CaptureSource(spec, shared) {}
+  ~TcpSource() override;
+
+  void Open() override;
+  uint16_t port() const override { return port_; }
+
+ protected:
+  void Run() override;
+
+ private:
+  // All return false when the connection should be dropped (peer gone,
+  // protocol error) or the source is stopping.
+  bool ReadFull(int fd, uint8_t* dst, size_t len);
+  bool Discard(int fd, size_t len);
+  void ServeClient(int fd);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Follows a pcap file as it grows (live `tail -f` over trace::PcapReader):
+// kAwait from a half-written record rewinds and retries, kEof waits for more
+// bytes. Timestamps are rebased to the first record, matching ImportPcap.
+class PcapFollowSource final : public CaptureSource {
+ public:
+  PcapFollowSource(const SourceSpec& spec, CaptureShared* shared) : CaptureSource(spec, shared) {}
+  ~PcapFollowSource() override = default;
+
+  void Open() override;
+
+ protected:
+  void Run() override;
+
+ private:
+  std::unique_ptr<trace::PcapReader> reader_;
+};
+
+}  // namespace shedmon::capture

@@ -1,0 +1,60 @@
+#include "src/net/frame.h"
+
+namespace shedmon::net {
+
+FrameDecodeStatus DecodeEthernetFrame(const uint8_t* data, size_t len, DecodedFrame* out) {
+  *out = DecodedFrame{};
+  if (len < kEthHeaderLen + kIpv4MinHeaderLen || ReadBe16(data + 12) != kEtherTypeIpv4) {
+    return FrameDecodeStatus::kNotIpv4;
+  }
+  const uint8_t* ip = data + kEthHeaderLen;
+  if ((ip[0] >> 4) != 4) {
+    return FrameDecodeStatus::kMalformed;  // EtherType said IPv4, header disagrees
+  }
+  const size_t ihl = static_cast<size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < kIpv4MinHeaderLen || kEthHeaderLen + ihl > len) {
+    // An IHL below the minimum header, or one that points past the captured
+    // bytes, would previously wrap the l4_avail subtraction into a huge
+    // value and read ports/flags out of bounds.
+    return FrameDecodeStatus::kMalformed;
+  }
+
+  PacketRecord& rec = out->rec;
+  rec.wire_len = ReadBe16(ip + 2);
+  rec.tuple.proto = ip[9];
+  rec.tuple.src_ip = ReadBe32(ip + 12);
+  rec.tuple.dst_ip = ReadBe32(ip + 16);
+
+  const uint8_t* l4 = ip + ihl;
+  const size_t l4_avail = len - kEthHeaderLen - ihl;  // safe: ihl bounded above
+  if (l4_avail >= 4) {
+    rec.tuple.src_port = ReadBe16(l4);
+    rec.tuple.dst_port = ReadBe16(l4 + 2);
+  }
+  size_t l4_header = 8;
+  if (rec.tuple.proto == kProtoTcp && l4_avail >= 14) {
+    const size_t data_offset = static_cast<size_t>(l4[12] >> 4) * 4;
+    if (data_offset < 20) {
+      return FrameDecodeStatus::kMalformed;  // TCP header cannot be under 20 bytes
+    }
+    l4_header = data_offset;
+    rec.tcp_flags = l4[13];
+  }
+
+  const size_t header_total = ihl + l4_header;
+  rec.payload_len =
+      rec.wire_len > header_total ? static_cast<uint16_t>(rec.wire_len - header_total) : 0;
+  rec.payload_class = PayloadClass::kNone;  // wire bytes carry the payload, not a seed
+
+  // Payload bytes actually captured: the data offset may legitimately point
+  // past a snaplen-truncated capture, in which case nothing is available.
+  if (rec.payload_len > 0 && l4_avail > l4_header) {
+    const size_t captured_after_headers = l4_avail - l4_header;
+    out->payload_captured = static_cast<uint16_t>(
+        captured_after_headers < rec.payload_len ? captured_after_headers : rec.payload_len);
+    out->payload = data + kEthHeaderLen + header_total;
+  }
+  return FrameDecodeStatus::kOk;
+}
+
+}  // namespace shedmon::net

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/net/packet.h"
+
+namespace shedmon::net {
+
+// Ethernet/IPv4 wire geometry shared by the pcap importer (src/trace) and the
+// live capture front-end (src/capture).
+inline constexpr size_t kEthHeaderLen = 14;
+inline constexpr size_t kIpv4MinHeaderLen = 20;
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+
+inline uint16_t ReadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline uint32_t ReadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+inline uint64_t ReadBe64(const uint8_t* p) {
+  return (static_cast<uint64_t>(ReadBe32(p)) << 32) | ReadBe32(p + 4);
+}
+
+enum class FrameDecodeStatus : uint8_t {
+  kOk = 0,
+  // Too short for Ethernet+IPv4, or EtherType is not IPv4: not our traffic,
+  // callers skip it silently (a capture link carries ARP and the rest).
+  kNotIpv4,
+  // Claims to be IPv4 but its geometry is impossible (IHL below 20 bytes or
+  // past the captured bytes, TCP data offset below 20): attacker-shaped
+  // input, counted and dropped — never dereferenced.
+  kMalformed,
+};
+
+// One frame decoded against the bytes actually captured. `payload` points
+// into the caller's buffer (null when no payload bytes were captured) and
+// `payload_captured` is how many payload bytes are really present there —
+// always <= rec.payload_len, which is derived from the IP total length and
+// may exceed the capture when the frame was snapped short.
+struct DecodedFrame {
+  PacketRecord rec;
+  const uint8_t* payload = nullptr;
+  uint16_t payload_captured = 0;
+};
+
+// Hardened Ethernet/IPv4/TCP-or-UDP decoder: every offset is bounds-checked
+// against `len` before it is read, so crafted IHL / data-offset values can
+// classify a frame as malformed but can never push a read out of bounds.
+// rec.ts_us is left at 0 — timestamps come from the transport (pcap record
+// header, replay header, or arrival clock), not from the frame.
+FrameDecodeStatus DecodeEthernetFrame(const uint8_t* data, size_t len, DecodedFrame* out);
+
+}  // namespace shedmon::net

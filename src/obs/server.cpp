@@ -102,9 +102,11 @@ void ObsServer::AcceptLoop() {
 }
 
 void ObsServer::HandleConnection(int fd) {
-  // A scrape request fits a single read in practice; keep reading until the
-  // header terminator, a hard cap, or a timeout so a stuck client cannot
-  // wedge the accept loop.
+  // Read until the blank-line header terminator, a hard cap, or a timeout so
+  // a stuck client cannot wedge the accept loop. The loop must not stop at
+  // the first newline: a GET split across TCP segments (tiny congestion
+  // windows, deliberate trickling) delivers the request line in pieces, and
+  // bailing early parsed the fragment as garbage and answered 400.
   timeval timeout{};
   timeout.tv_sec = 2;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
@@ -112,10 +114,10 @@ void ObsServer::HandleConnection(int fd) {
   std::string request;
   char buffer[2048];
   while (request.size() < 16384 && request.find("\r\n\r\n") == std::string::npos &&
-         request.find('\n') == std::string::npos) {
+         request.find("\n\n") == std::string::npos) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n <= 0) {
-      break;
+      break;  // peer closed, errored, or SO_RCVTIMEO expired
     }
     request.append(buffer, static_cast<size_t>(n));
   }

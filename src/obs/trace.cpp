@@ -45,6 +45,8 @@ const char* StageName(Stage stage) {
       return "checkpoint";
     case Stage::kDegrade:
       return "degrade";
+    case Stage::kCapture:
+      return "capture";
   }
   return "unknown";
 }

@@ -40,8 +40,9 @@ enum class Stage : uint8_t {
   kSink,             // one sink write (CSV/JSONL row)
   kCheckpoint,       // crash-safe checkpoint write
   kDegrade,          // rt ladder transition (instant event)
+  kCapture,          // capture front-end drain burst (src/capture)
 };
-inline constexpr size_t kStageCount = 11;
+inline constexpr size_t kStageCount = 12;
 
 const char* StageName(Stage stage);
 

@@ -42,8 +42,14 @@ class BoundedQueue {
 
   // Returns false iff the item was dropped (kDropNewest on a full queue) or
   // the queue is closed. kBlock waits; kDropOldest always succeeds by
-  // evicting the head.
-  bool Push(T item) SHEDMON_EXCLUDES(mutex_) {
+  // evicting the head. When `evicted` is non-null, a kDropOldest eviction
+  // hands the displaced item back through it — essential when items are
+  // handles to pooled resources (capture slots) that must be recycled, not
+  // leaked, on overflow.
+  bool Push(T item, std::optional<T>* evicted = nullptr) SHEDMON_EXCLUDES(mutex_) {
+    if (evicted != nullptr) {
+      evicted->reset();
+    }
     {
       util::MutexLock lock(mutex_);
       if (closed_) {
@@ -63,6 +69,9 @@ class BoundedQueue {
             ++dropped_newest_;
             return false;
           case OverflowPolicy::kDropOldest:
+            if (evicted != nullptr) {
+              *evicted = std::move(items_.front());
+            }
             items_.pop_front();
             ++dropped_oldest_;
             break;
@@ -82,6 +91,28 @@ class BoundedQueue {
       util::MutexLock lock(mutex_);
       while (items_.empty() && !closed_) {
         not_empty_.Wait(lock);
+      }
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
+    return item;
+  }
+
+  // Bounded-wait variant for consumer loops that interleave queue drains
+  // with periodic work (a capture loop advancing the pipeline clock): waits
+  // at most ~`timeout_us` for an item, then returns nullopt. A single timed
+  // wait, not a deadline loop — spurious wakeups surface as an early empty
+  // return, which poll-style callers absorb by design.
+  std::optional<T> PopFor(uint64_t timeout_us) SHEDMON_EXCLUDES(mutex_) {
+    std::optional<T> item;
+    {
+      util::MutexLock lock(mutex_);
+      if (items_.empty() && !closed_) {
+        not_empty_.WaitFor(lock, timeout_us);
       }
       if (items_.empty()) {
         return std::nullopt;
@@ -122,6 +153,10 @@ class BoundedQueue {
   size_t Size() const SHEDMON_EXCLUDES(mutex_) {
     util::MutexLock lock(mutex_);
     return items_.size();
+  }
+  bool closed() const SHEDMON_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    return closed_;
   }
   size_t capacity() const { return capacity_; }
   OverflowPolicy policy() const { return policy_; }

@@ -1,9 +1,11 @@
 #include "src/trace/pcap.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
+#include "src/net/frame.h"
 #include "src/trace/batch.h"
 
 namespace shedmon::trace {
@@ -25,15 +27,6 @@ void PutU32(std::vector<uint8_t>& out, size_t offset, uint32_t value) {
   out[offset + 1] = static_cast<uint8_t>((value >> 16) & 0xff);
   out[offset + 2] = static_cast<uint8_t>((value >> 8) & 0xff);
   out[offset + 3] = static_cast<uint8_t>(value & 0xff);
-}
-
-uint16_t ReadU16(const uint8_t* p) {
-  return static_cast<uint16_t>((p[0] << 8) | p[1]);
-}
-
-uint32_t ReadU32(const uint8_t* p) {
-  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
-         (static_cast<uint32_t>(p[2]) << 8) | p[3];
 }
 
 // RFC 1071 internet checksum over a header region.
@@ -145,70 +138,103 @@ size_t ExportPcap(const Trace& trace, const std::string& path, uint32_t snaplen)
   return written;
 }
 
-Trace ImportPcap(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+PcapReader::PcapReader(const std::string& path) : in_(path, std::ios::binary), path_(path) {
+  if (!in_) {
     throw std::runtime_error("ImportPcap: cannot open " + path);
   }
   PcapFileHeader header;
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  if (!in || header.magic != kPcapMagic) {
+  in_.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in_ || header.magic != kPcapMagic) {
     throw std::runtime_error("ImportPcap: unsupported pcap format in " + path);
   }
   if (header.linktype != kLinkTypeEthernet) {
     throw std::runtime_error("ImportPcap: only LINKTYPE_ETHERNET is supported");
   }
+  snaplen_ = header.snaplen;
+  max_record_ = snaplen_ == 0 ? kMaxPcapRecordBytes : std::min(snaplen_, kMaxPcapRecordBytes);
+}
 
+PcapReader::Status PcapReader::Next(uint8_t* out, size_t cap, RecordInfo* info) {
+  in_.clear();  // a previous tail read may have tripped eofbit; retry live
+  const std::streampos record_start = in_.tellg();
+  PcapRecordHeader header;
+  in_.read(reinterpret_cast<char*>(&header), sizeof(header));
+  const std::streamsize header_got = in_.gcount();
+  if (header_got == 0) {
+    in_.clear();
+    in_.seekg(record_start);
+    return Status::kEof;
+  }
+  if (header_got < static_cast<std::streamsize>(sizeof(header))) {
+    in_.clear();
+    in_.seekg(record_start);
+    return Status::kAwait;
+  }
+  if (header.incl_len > max_record_) {
+    // Attacker-controlled length: reject before any buffering. The old code
+    // path did buf.resize(incl_len) here — a multi-GB allocation on demand.
+    return Status::kCorrupt;
+  }
+
+  const uint32_t keep = std::min<uint32_t>(header.incl_len, static_cast<uint32_t>(cap));
+  uint32_t got = 0;
+  if (keep > 0) {
+    in_.clear();
+    in_.read(reinterpret_cast<char*>(out), keep);
+    got = static_cast<uint32_t>(in_.gcount());
+  }
+  // Discard stored bytes past the caller's buffer (cap below incl_len).
+  while (got < header.incl_len) {
+    char scratch[4096];
+    const uint32_t want =
+        std::min<uint32_t>(header.incl_len - got, static_cast<uint32_t>(sizeof(scratch)));
+    in_.clear();
+    in_.read(scratch, want);
+    const std::streamsize n = in_.gcount();
+    if (n == 0) {
+      break;
+    }
+    got += static_cast<uint32_t>(n);
+  }
+  if (got < header.incl_len) {
+    in_.clear();
+    in_.seekg(record_start);  // mid-record tail: retry once the writer catches up
+    return Status::kAwait;
+  }
+  info->ts_us = static_cast<uint64_t>(header.ts_sec) * 1'000'000 + header.ts_usec;
+  info->incl_len = header.incl_len;
+  info->captured = keep;
+  info->orig_len = header.orig_len;
+  return Status::kRecord;
+}
+
+Trace ImportPcap(const std::string& path) {
+  PcapReader reader(path);
   Trace trace;
   trace.spec.name = path;
   uint64_t first_ts = 0;
   bool have_first = false;
-  std::vector<uint8_t> buf;
+  std::vector<uint8_t> buf(reader.max_record_bytes());
   while (true) {
-    PcapRecordHeader rec_header;
-    in.read(reinterpret_cast<char*>(&rec_header), sizeof(rec_header));
-    if (!in) {
+    PcapReader::RecordInfo info;
+    const PcapReader::Status status = reader.Next(buf.data(), buf.size(), &info);
+    if (status == PcapReader::Status::kEof) {
       break;
     }
-    buf.resize(rec_header.incl_len);
-    in.read(reinterpret_cast<char*>(buf.data()), rec_header.incl_len);
-    if (!in) {
+    if (status != PcapReader::Status::kRecord) {
       throw std::runtime_error("ImportPcap: truncated record in " + path);
     }
-    if (buf.size() < kEthLen + kIpLen || ReadU16(buf.data() + 12) != 0x0800) {
-      continue;  // non-IPv4 frame
+    net::DecodedFrame frame;
+    if (net::DecodeEthernetFrame(buf.data(), info.captured, &frame) !=
+        net::FrameDecodeStatus::kOk) {
+      continue;  // non-IPv4 interleave or a malformed frame: skip, never read
     }
-    const uint8_t* ip = buf.data() + kEthLen;
-    const size_t ihl = static_cast<size_t>(ip[0] & 0x0f) * 4;
-    net::PacketRecord rec;
-    const uint64_t ts =
-        static_cast<uint64_t>(rec_header.ts_sec) * 1'000'000 + rec_header.ts_usec;
     if (!have_first) {
-      first_ts = ts;
+      first_ts = info.ts_us;
       have_first = true;
     }
-    rec.ts_us = ts - first_ts;
-    rec.wire_len = ReadU16(ip + 2);
-    rec.tuple.proto = ip[9];
-    rec.tuple.src_ip = ReadU32(ip + 12);
-    rec.tuple.dst_ip = ReadU32(ip + 16);
-    const uint8_t* l4 = ip + ihl;
-    const size_t l4_avail = buf.size() - kEthLen - ihl;
-    if (l4_avail >= 4) {
-      rec.tuple.src_port = ReadU16(l4);
-      rec.tuple.dst_port = ReadU16(l4 + 2);
-    }
-    size_t l4_header = 8;
-    if (rec.tuple.proto == net::kProtoTcp && l4_avail >= 14) {
-      l4_header = static_cast<size_t>(l4[12] >> 4) * 4;
-      rec.tcp_flags = l4[13];
-    }
-    const size_t header_total = ihl + l4_header;
-    rec.payload_len = rec.wire_len > header_total
-                          ? static_cast<uint16_t>(rec.wire_len - header_total)
-                          : 0;
-    rec.payload_class = net::PayloadClass::kNone;  // bytes are not retained
-    trace.packets.push_back(rec);
+    frame.rec.ts_us = info.ts_us - first_ts;
+    trace.packets.push_back(frame.rec);
   }
   return trace;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -7,6 +9,11 @@
 #include "src/trace/generator.h"
 
 namespace shedmon::trace {
+
+// Hard upper bound on one pcap record's stored bytes. Jumbo frames top out
+// far below this; an incl_len beyond it is a corrupt or hostile file, not a
+// big packet, and must be rejected instead of allocated.
+inline constexpr uint32_t kMaxPcapRecordBytes = 256 * 1024;
 
 // Exports a trace as a standard libpcap capture file (magic 0xa1b2c3d4,
 // LINKTYPE_ETHERNET), synthesizing the Ethernet/IPv4/TCP-or-UDP headers and
@@ -24,9 +31,57 @@ size_t ExportPcap(const Trace& trace, const std::string& path, uint32_t snaplen 
 // byte-level consumers.
 std::vector<uint8_t> SynthesizeFrame(const net::PacketRecord& rec);
 
+// Incremental reader over a LINKTYPE_ETHERNET microsecond pcap file,
+// hardened against malformed input: the constructor validates the file
+// header, and Next() refuses records whose incl_len exceeds the header's
+// snaplen (or kMaxPcapRecordBytes) before a single byte is buffered. Built
+// for two consumers: ImportPcap below reads to EOF, and the live capture
+// front-end (src/capture) follows a file another process is still writing —
+// kAwait rewinds to the record boundary so the same call can be retried
+// once the writer appends the rest.
+class PcapReader {
+ public:
+  enum class Status : uint8_t {
+    kRecord,   // one full record delivered
+    kEof,      // clean end: the file stops exactly on a record boundary
+    kAwait,    // the file ends mid-record; position rewound for a retry
+    kCorrupt,  // record claims more bytes than the snaplen cap allows
+  };
+
+  struct RecordInfo {
+    uint64_t ts_us = 0;     // absolute capture timestamp (sec * 1e6 + usec)
+    uint32_t incl_len = 0;  // bytes stored in the file for this record
+    uint32_t captured = 0;  // bytes copied into the caller's buffer
+    uint32_t orig_len = 0;  // original frame length on the wire
+  };
+
+  // Throws std::runtime_error on open failure, a foreign magic, or a
+  // non-Ethernet link type.
+  explicit PcapReader(const std::string& path);
+
+  // Reads the next record's bytes into `out` (at most `cap`; longer records
+  // are stored-bytes-truncated, with the full incl_len reported in info).
+  Status Next(uint8_t* out, size_t cap, RecordInfo* info);
+
+  uint32_t snaplen() const { return snaplen_; }
+  // Per-record byte ceiling: min(snaplen, kMaxPcapRecordBytes); buffers of
+  // this size can hold any record Next() will ever deliver.
+  uint32_t max_record_bytes() const { return max_record_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  uint32_t snaplen_ = 0;
+  uint32_t max_record_ = 0;
+};
+
 // Reads back a pcap file written by ExportPcap (or any LINKTYPE_ETHERNET
 // IPv4 capture) into packet records; payload bytes are not retained, only
-// their length. Timestamps are relative to the first packet.
+// their length. Timestamps are relative to the first packet. Hardened:
+// malformed frames (impossible IHL / TCP data offset) are skipped, and a
+// record that is truncated mid-file or claims more than the snaplen cap
+// throws std::runtime_error.
 Trace ImportPcap(const std::string& path);
 
 }  // namespace shedmon::trace

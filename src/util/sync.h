@@ -1,6 +1,8 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "src/util/thread_annotations.h"
@@ -64,6 +66,16 @@ class CondVar {
     std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();  // ownership stays with the MutexLock
+  }
+
+  // Timed variant: waits at most `us` microseconds. Returns false iff the
+  // wait timed out; true means notified — or a spurious wakeup, so callers
+  // re-check their predicate either way (poll loops simply fall through).
+  bool WaitFor(MutexLock& lock, uint64_t us) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, std::chrono::microseconds(us));
+    native.release();  // ownership stays with the MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -91,6 +91,38 @@ TEST(BoundedQueue, CloseWakesProducersAndDrainsConsumers) {
   EXPECT_EQ(queue.Pop(), std::nullopt);   // then reports closed-and-empty
 }
 
+TEST(BoundedQueue, DropOldestHandsBackTheEvictedItem) {
+  // The capture slot ring needs the displaced item back (its slot must be
+  // recycled, not leaked); kDropOldest reports it through the out-param.
+  BoundedQueue<int> queue(2, OverflowPolicy::kDropOldest);
+  std::optional<int> evicted;
+  EXPECT_TRUE(queue.Push(1, &evicted));
+  EXPECT_EQ(evicted, std::nullopt);
+  EXPECT_TRUE(queue.Push(2, &evicted));
+  EXPECT_EQ(evicted, std::nullopt);
+  EXPECT_TRUE(queue.Push(3, &evicted));
+  EXPECT_EQ(evicted, 1);
+  EXPECT_EQ(queue.dropped_oldest(), 1u);
+}
+
+TEST(BoundedQueue, PopForTimesOutEmptyAndReturnsDataWhenPresent) {
+  BoundedQueue<int> queue(2, OverflowPolicy::kBlock);
+  EXPECT_EQ(queue.PopFor(1000), std::nullopt);  // 1ms timeout, empty queue
+  ASSERT_TRUE(queue.Push(5));
+  EXPECT_EQ(queue.PopFor(1000), 5);
+  queue.Close();
+  EXPECT_EQ(queue.PopFor(1000), std::nullopt);  // closed and empty: immediate
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueue, PopForWakesOnPushFromAnotherThread) {
+  BoundedQueue<int> queue(2, OverflowPolicy::kBlock);
+  std::thread producer([&] { queue.Push(9); });
+  // Generous timeout: the wait must end on the push, not the deadline.
+  EXPECT_EQ(queue.PopFor(5'000'000), 9);
+  producer.join();
+}
+
 TEST(BoundedQueue, ZeroCapacityIsClampedToOne) {
   BoundedQueue<int> queue(0, OverflowPolicy::kDropNewest);
   EXPECT_EQ(queue.capacity(), 1u);

@@ -7,6 +7,7 @@
 #include <set>
 #include <string>
 
+#include "src/net/frame.h"
 #include "src/trace/anomaly.h"
 #include "src/trace/batch.h"
 #include "src/trace/generator.h"
@@ -384,6 +385,236 @@ TEST(Pcap, ImportRejectsGarbage) {
   out << "this is not a pcap file at all";
   out.close();
   EXPECT_THROW(ImportPcap(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---- Adversarial pcap fixtures --------------------------------------------
+// Hand-built capture files that exercise the hardened import path: impossible
+// IP header lengths, hostile record lengths, mid-record truncation, and
+// non-IPv4 interleave. Headers are written native-endian, matching what
+// ExportPcap emits and PcapReader reads.
+
+void AppendRaw(std::vector<uint8_t>& out, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out.insert(out.end(), p, p + len);
+}
+
+void AppendU16(std::vector<uint8_t>& out, uint16_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) { AppendRaw(out, &v, sizeof(v)); }
+
+std::vector<uint8_t> PcapHeaderBytes(uint32_t snaplen = 262144) {
+  std::vector<uint8_t> out;
+  AppendU32(out, 0xa1b2c3d4u);  // microsecond magic
+  AppendU16(out, 2);
+  AppendU16(out, 4);
+  AppendU32(out, 0);  // thiszone
+  AppendU32(out, 0);  // sigfigs
+  AppendU32(out, snaplen);
+  AppendU32(out, 1);  // LINKTYPE_ETHERNET
+  return out;
+}
+
+// Appends a record header claiming `incl_len` stored bytes, then however many
+// bytes `stored` actually holds — letting tests lie about the length.
+void AppendRecord(std::vector<uint8_t>& out, uint64_t ts_us, uint32_t incl_len,
+                  const std::vector<uint8_t>& stored) {
+  AppendU32(out, static_cast<uint32_t>(ts_us / 1'000'000));
+  AppendU32(out, static_cast<uint32_t>(ts_us % 1'000'000));
+  AppendU32(out, incl_len);
+  AppendU32(out, incl_len);  // orig_len
+  AppendRaw(out, stored.data(), stored.size());
+}
+
+std::string WriteFixture(const std::string& name, const std::vector<uint8_t>& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+net::PacketRecord GoodTcpRecord(uint16_t src_port) {
+  net::PacketRecord rec;
+  rec.tuple = {0x0a000001, 0xc0a80001, src_port, 443, net::kProtoTcp};
+  rec.payload_len = 64;
+  rec.wire_len = 20 + 20 + rec.payload_len;  // wire-faithful IP total length
+  rec.tcp_flags = net::kTcpAck;
+  return rec;
+}
+
+TEST(FrameDecode, RejectsImpossibleIhl) {
+  // IHL nibbles 0 and 15 on a frame with exactly eth + 20 captured bytes:
+  // below the 20-byte minimum and past the capture respectively. IHL 6 (24
+  // bytes) is also past this capture. None may be dereferenced.
+  std::vector<uint8_t> frame = SynthesizeFrame(GoodTcpRecord(1000));
+  frame.resize(net::kEthHeaderLen + net::kIpv4MinHeaderLen);
+  net::DecodedFrame decoded;
+  for (const uint8_t ihl : {0, 1, 4, 6, 15}) {
+    frame[14] = static_cast<uint8_t>(0x40 | ihl);
+    EXPECT_EQ(net::DecodeEthernetFrame(frame.data(), frame.size(), &decoded),
+              net::FrameDecodeStatus::kMalformed)
+        << "ihl nibble " << int{ihl};
+  }
+  // IHL 5 on the same capture is the legal minimum.
+  frame[14] = 0x45;
+  EXPECT_EQ(net::DecodeEthernetFrame(frame.data(), frame.size(), &decoded),
+            net::FrameDecodeStatus::kOk);
+}
+
+TEST(FrameDecode, RejectsTcpDataOffsetBelowMinimum) {
+  std::vector<uint8_t> frame = SynthesizeFrame(GoodTcpRecord(1000));
+  net::DecodedFrame decoded;
+  for (const uint8_t off : {0, 1, 4}) {
+    frame[14 + 20 + 12] = static_cast<uint8_t>(off << 4);
+    EXPECT_EQ(net::DecodeEthernetFrame(frame.data(), frame.size(), &decoded),
+              net::FrameDecodeStatus::kMalformed)
+        << "data offset nibble " << int{off};
+  }
+  frame[14 + 20 + 12] = 0x50;
+  EXPECT_EQ(net::DecodeEthernetFrame(frame.data(), frame.size(), &decoded),
+            net::FrameDecodeStatus::kOk);
+}
+
+TEST(FrameDecode, ClampsPayloadToCapturedBytes) {
+  // A snapped capture: IP total length claims 64 payload bytes but only 10
+  // made it into the file. payload_len keeps the wire truth; the view must
+  // not extend past the capture.
+  const net::PacketRecord rec = GoodTcpRecord(1000);
+  std::vector<uint8_t> frame = SynthesizeFrame(rec);
+  frame.resize(14 + 20 + 20 + 10);
+  net::DecodedFrame decoded;
+  ASSERT_EQ(net::DecodeEthernetFrame(frame.data(), frame.size(), &decoded),
+            net::FrameDecodeStatus::kOk);
+  EXPECT_EQ(decoded.rec.payload_len, 64);
+  EXPECT_EQ(decoded.payload_captured, 10);
+  EXPECT_EQ(decoded.payload, frame.data() + 14 + 20 + 20);
+}
+
+TEST(Pcap, ImportSkipsMalformedAndNonIpv4Interleave) {
+  std::vector<uint8_t> file = PcapHeaderBytes();
+  const net::PacketRecord good1 = GoodTcpRecord(1000);
+  const net::PacketRecord good2 = GoodTcpRecord(2000);
+
+  std::vector<uint8_t> frame = SynthesizeFrame(good1);
+  AppendRecord(file, 100, static_cast<uint32_t>(frame.size()), frame);
+
+  // An ARP frame (EtherType 0x0806): normal link noise, silently skipped.
+  std::vector<uint8_t> arp(42, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  AppendRecord(file, 200, static_cast<uint32_t>(arp.size()), arp);
+
+  // IPv4 with a hostile IHL nibble of 15: counted out, never read.
+  std::vector<uint8_t> bad_ihl = SynthesizeFrame(good1);
+  bad_ihl.resize(14 + 20);
+  bad_ihl[14] = 0x4f;
+  AppendRecord(file, 300, static_cast<uint32_t>(bad_ihl.size()), bad_ihl);
+
+  // TCP data offset of 1 word: impossible, skipped.
+  std::vector<uint8_t> bad_off = SynthesizeFrame(good1);
+  bad_off[14 + 20 + 12] = 0x10;
+  AppendRecord(file, 400, static_cast<uint32_t>(bad_off.size()), bad_off);
+
+  frame = SynthesizeFrame(good2);
+  AppendRecord(file, 500, static_cast<uint32_t>(frame.size()), frame);
+
+  const std::string path = WriteFixture("shedmon_interleave.pcap", file);
+  const Trace t = ImportPcap(path);
+  ASSERT_EQ(t.packets.size(), 2u);
+  EXPECT_EQ(t.packets[0].tuple, good1.tuple);
+  EXPECT_EQ(t.packets[1].tuple, good2.tuple);
+  EXPECT_EQ(t.packets[0].ts_us, 0u);    // normalized to the first good packet
+  EXPECT_EQ(t.packets[1].ts_us, 400u);  // 500 - 100
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ImportRejectsOversizedInclLen) {
+  // incl_len of 1 GiB: the old path did buf.resize(incl_len) — an
+  // attacker-controlled allocation. Now it must throw before buffering.
+  std::vector<uint8_t> file = PcapHeaderBytes();
+  AppendRecord(file, 100, 1u << 30, {});
+  const std::string path = WriteFixture("shedmon_oversize.pcap", file);
+  EXPECT_THROW(ImportPcap(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ImportRejectsInclLenBeyondSnaplen) {
+  // Even a modest incl_len is a lie when it exceeds the header's snaplen.
+  std::vector<uint8_t> file = PcapHeaderBytes(/*snaplen=*/64);
+  std::vector<uint8_t> stored(100, 0);
+  AppendRecord(file, 100, 100, stored);
+  const std::string path = WriteFixture("shedmon_snaplie.pcap", file);
+  EXPECT_THROW(ImportPcap(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ImportThrowsOnTruncatedMidRecord) {
+  std::vector<uint8_t> file = PcapHeaderBytes();
+  const std::vector<uint8_t> frame = SynthesizeFrame(GoodTcpRecord(1000));
+  AppendRecord(file, 100, static_cast<uint32_t>(frame.size()), frame);
+  // Second record claims 120 bytes but the file ends after 50.
+  std::vector<uint8_t> partial(frame.begin(), frame.begin() + 50);
+  AppendRecord(file, 200, 120, partial);
+  const std::string path = WriteFixture("shedmon_truncated.pcap", file);
+  EXPECT_THROW(ImportPcap(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReaderAwaitsThenResumesOnGrowingFile) {
+  // The live-follow contract: a mid-record tail reports kAwait and rewinds,
+  // so the same Next() call succeeds once the writer appends the rest.
+  const std::vector<uint8_t> frame = SynthesizeFrame(GoodTcpRecord(1000));
+  std::vector<uint8_t> file = PcapHeaderBytes();
+  std::vector<uint8_t> partial(frame.begin(), frame.begin() + 30);
+  AppendRecord(file, 1'234'567, static_cast<uint32_t>(frame.size()), partial);
+  const std::string path = WriteFixture("shedmon_growing.pcap", file);
+
+  PcapReader reader(path);
+  std::vector<uint8_t> buf(reader.max_record_bytes());
+  PcapReader::RecordInfo info;
+  EXPECT_EQ(reader.Next(buf.data(), buf.size(), &info), PcapReader::Status::kAwait);
+  EXPECT_EQ(reader.Next(buf.data(), buf.size(), &info), PcapReader::Status::kAwait);
+
+  {
+    std::ofstream append(path, std::ios::binary | std::ios::app);
+    append.write(reinterpret_cast<const char*>(frame.data() + 30),
+                 static_cast<std::streamsize>(frame.size() - 30));
+  }
+  ASSERT_EQ(reader.Next(buf.data(), buf.size(), &info), PcapReader::Status::kRecord);
+  EXPECT_EQ(info.ts_us, 1'234'567u);
+  EXPECT_EQ(info.captured, frame.size());
+  EXPECT_EQ(std::memcmp(buf.data(), frame.data(), frame.size()), 0);
+  EXPECT_EQ(reader.Next(buf.data(), buf.size(), &info), PcapReader::Status::kEof);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RoundTripIsFieldExact) {
+  // Every decoded field — not a sample — must survive export + import for
+  // wire-faithful records (wire_len == headers + payload).
+  Trace t;
+  for (uint16_t i = 0; i < 50; ++i) {
+    net::PacketRecord rec;
+    const bool tcp = i % 3 != 0;
+    rec.tuple = {0x0a000000u + i, 0xc0a80000u + i, static_cast<uint16_t>(1024 + i),
+                 static_cast<uint16_t>(tcp ? 443 : 53),
+                 tcp ? net::kProtoTcp : net::kProtoUdp};
+    rec.payload_len = static_cast<uint16_t>(i * 7 % 200);
+    rec.wire_len = static_cast<uint16_t>(20 + (tcp ? 20 : 8) + rec.payload_len);
+    rec.ts_us = 1'000'000 + static_cast<uint64_t>(i) * 137;
+    rec.tcp_flags = tcp ? net::kTcpAck : 0;
+    t.packets.push_back(rec);
+  }
+  const std::string path = ::testing::TempDir() + "/shedmon_exact.pcap";
+  ExportPcap(t, path);
+  const Trace back = ImportPcap(path);
+  ASSERT_EQ(back.packets.size(), t.packets.size());
+  for (size_t i = 0; i < t.packets.size(); ++i) {
+    EXPECT_EQ(back.packets[i].tuple, t.packets[i].tuple) << i;
+    EXPECT_EQ(back.packets[i].ts_us, t.packets[i].ts_us - t.packets[0].ts_us) << i;
+    EXPECT_EQ(back.packets[i].wire_len, t.packets[i].wire_len) << i;
+    EXPECT_EQ(back.packets[i].payload_len, t.packets[i].payload_len) << i;
+    EXPECT_EQ(back.packets[i].tcp_flags, t.packets[i].tcp_flags) << i;
+  }
   std::remove(path.c_str());
 }
 

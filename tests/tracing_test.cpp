@@ -299,6 +299,51 @@ TEST(Tracing, HttpMalformedRequestGets400) {
       std::string::npos);
 }
 
+TEST(Tracing, HttpSegmentedRequestIsReassembled) {
+  // A GET split across TCP segments (tiny congestion windows, deliberate
+  // trickling) must be reassembled up to the blank-line terminator, not
+  // parsed fragment-by-fragment. The old single-recv server answered 400.
+  auto pipeline = BuildPipeline(0, 1, /*tracing=*/false, /*serve=*/true);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(pipeline->serve_port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::vector<std::string> segments = {"GET /hea", "lthz HTTP/1.1\r\n",
+                                             "Host: 127.0.0.1\r\n", "\r\n"};
+  for (const std::string& segment : segments) {
+    ASSERT_EQ(::send(fd, segment.data(), segment.size(), 0),
+              static_cast<ssize_t>(segment.size()));
+    // Long enough that the server's recv loop wakes between segments.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::string reply;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(reply.find("200 OK"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos) << reply;
+}
+
+TEST(Tracing, HttpOversizedHeaderIsCappedNotBuffered) {
+  // A client that streams headers without ever sending the blank-line
+  // terminator is cut off at the 16 KiB cap: the server answers from what it
+  // has (instead of growing an unbounded std::string or hanging until the
+  // flood ends), closes the connection, and keeps serving other clients.
+  auto pipeline = BuildPipeline(0, 1, /*tracing=*/false, /*serve=*/true);
+  std::string request = "GET /healthz HTTP/1.1\r\n";
+  request.append(64 * 1024, 'X');  // 4x the cap, no terminator
+  const std::string reply = SendRaw(pipeline->serve_port(), request);
+  EXPECT_NE(reply.find("HTTP/1.1"), std::string::npos) << reply;
+  // The accept loop survives to serve the next client.
+  EXPECT_EQ(Get(pipeline->serve_port(), "/healthz").status, 200);
+}
+
 TEST(Tracing, HttpUnknownPathGets404) {
   auto pipeline = BuildPipeline(0, 1, /*tracing=*/false, /*serve=*/true);
   EXPECT_EQ(Get(pipeline->serve_port(), "/nope").status, 404);

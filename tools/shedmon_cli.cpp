@@ -5,10 +5,14 @@
 //   shedmon export-pcap t.smt t.pcap
 //   shedmon inject-ddos t.smt --start 10 --duration 5 --pps 3000 --out t2.smt
 //   shedmon run t.smt --queries counter,flows --k 0.5 --strategy mmfs_pkt
+//   shedmon capture --listen-udp 0 --queries counter,flows --capacity 5e6
+//   shedmon replay t.smt --udp 9000 --pps 20000
 //
 // `run` executes the full predictive load-shedding pipeline over a saved
 // trace and reports per-query accuracy against an unsampled reference plus
-// the shedding statistics — the same loop every bench uses.
+// the shedding statistics — the same loop every bench uses. `capture` runs
+// the same pipeline against live input (loopback UDP/TCP listeners or a
+// growing pcap file) and `replay` feeds a saved trace into it.
 
 #include <cstdio>
 #include <cstring>
@@ -23,8 +27,11 @@
 #include "src/api/config.h"
 #include "src/api/pipeline.h"
 #include "src/api/sinks.h"
+#include "src/capture/capture.h"
+#include "src/capture/replay.h"
 #include "src/obs/prometheus.h"
 #include "src/core/runner.h"
+#include "src/rt/clock.h"
 #include "src/rt/fault.h"
 #include "src/rt/resilient.h"
 #include "src/query/queries.h"
@@ -139,7 +146,31 @@ int Usage() {
       "              [--fault-plan SPEC] [--sink-retries N]\n"
       "              [--checkpoint FILE] [--checkpoint-every N] [--restore]\n"
       "              [--serve PORT] [--trace-out FILE]\n"
+      "  capture     --listen-udp PORT | --listen-tcp PORT | --follow-pcap FILE\n"
+      "              --queries a,b,c --capacity CYCLES [--bin-us N]\n"
+      "              [--duration S] [--slots N] [--snap BYTES] [--queue N]\n"
+      "              [--overflow block|drop-newest|drop-oldest]\n"
+      "              [--late-slack-us N] (plus run's --threads --shards\n"
+      "              --shedder --strategy --deadline --ingest-cap --csv\n"
+      "              --jsonl --serve --trace-out --metrics-out)\n"
+      "  replay      FILE --udp PORT | --tcp PORT [--pps N]\n"
       "  queries     (list available queries and their default min rates)\n"
+      "\n"
+      "capture flags:\n"
+      "  --listen-udp PORT   capture framed (or raw) Ethernet frames from UDP\n"
+      "                      datagrams on 127.0.0.1:PORT (0 picks a free port;\n"
+      "                      the bound port is printed)\n"
+      "  --listen-tcp PORT   capture length-framed records from one TCP stream\n"
+      "                      (lossless; what `replay --tcp` sends)\n"
+      "  --follow-pcap FILE  follow a growing pcap file, tail -f style\n"
+      "  --capacity CYCLES   absolute cycle budget per bin (live capture has\n"
+      "                      no trace to measure demand against)\n"
+      "  --duration S        stop after S seconds (default: on SIGINT/SIGTERM,\n"
+      "                      which also stop early and drain cleanly)\n"
+      "  --slots/--snap/--queue/--overflow/--late-slack-us\n"
+      "                      capture ring geometry: pre-allocated slots, bytes\n"
+      "                      captured per frame, ring depth, overflow policy,\n"
+      "                      and how far behind real time a packet may arrive\n"
       "\n"
       "run flags:\n"
       "  --config FILE       load an INI pipeline config (system knobs, query\n"
@@ -269,6 +300,11 @@ volatile std::sig_atomic_t g_metrics_dump_requested = 0;
 
 void RequestMetricsDump(int) { g_metrics_dump_requested = 1; }
 
+// SIGINT/SIGTERM ask the capture loop to stop; same flag-only discipline.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void RequestStop(int) { g_stop_requested = 1; }
+
 void DumpMetrics(const Pipeline& pipeline, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -276,6 +312,37 @@ void DumpMetrics(const Pipeline& pipeline, const std::string& path) {
     return;
   }
   obs::PrometheusEncoder::Encode(pipeline.Metrics().Snapshot(), out);
+}
+
+// End-of-run report shared by `run` and `capture`: per-query accuracy table
+// plus the packet tally.
+void PrintResults(const Pipeline& pipeline) {
+  util::Table table({"query", "min rate", "mean srate", "accuracy error"});
+  for (size_t q = 0; q < pipeline.num_queries(); ++q) {
+    const std::string& name = pipeline.system().query(q).name();
+    util::RunningStats rate;
+    for (const auto& bin : pipeline.log()) {
+      if (q < bin.rate.size()) {
+        rate.Add(bin.rate[q]);
+      }
+    }
+    std::string accuracy = "-";
+    try {
+      const auto acc = pipeline.AccuracyAt(q);
+      accuracy = util::FmtPercent(acc.mean_error, 2) + " ±" +
+                 util::Fmt(acc.stdev_error * 100.0, 2);
+    } catch (const std::logic_error&) {
+      // No reference tracked (config file with track_accuracy = false).
+    }
+    table.AddRow({name, util::Fmt(core::DefaultMinRate(name), 2), util::Fmt(rate.mean(), 2),
+                  accuracy});
+  }
+  table.Print(std::cout);
+  std::printf("\npackets: %llu in, %llu uncontrolled drops (%.2f%%)\n",
+              static_cast<unsigned long long>(pipeline.total_packets()),
+              static_cast<unsigned long long>(pipeline.total_dropped()),
+              100.0 * static_cast<double>(pipeline.total_dropped()) /
+                  std::max<double>(1.0, static_cast<double>(pipeline.total_packets())));
 }
 
 int CmdRun(const Flags& flags) {
@@ -458,32 +525,7 @@ int CmdRun(const Flags& flags) {
     pipeline->DumpTrace(flags.Get("trace-out"));
   }
 
-  util::Table table({"query", "min rate", "mean srate", "accuracy error"});
-  for (size_t q = 0; q < pipeline->num_queries(); ++q) {
-    const std::string& name = pipeline->system().query(q).name();
-    util::RunningStats rate;
-    for (const auto& bin : pipeline->log()) {
-      if (q < bin.rate.size()) {
-        rate.Add(bin.rate[q]);
-      }
-    }
-    std::string accuracy = "-";
-    try {
-      const auto acc = pipeline->AccuracyAt(q);
-      accuracy = util::FmtPercent(acc.mean_error, 2) + " ±" +
-                 util::Fmt(acc.stdev_error * 100.0, 2);
-    } catch (const std::logic_error&) {
-      // No reference tracked (config file with track_accuracy = false).
-    }
-    table.AddRow({name, util::Fmt(core::DefaultMinRate(name), 2), util::Fmt(rate.mean(), 2),
-                  accuracy});
-  }
-  table.Print(std::cout);
-  std::printf("\npackets: %llu in, %llu uncontrolled drops (%.2f%%)\n",
-              static_cast<unsigned long long>(pipeline->total_packets()),
-              static_cast<unsigned long long>(pipeline->total_dropped()),
-              100.0 * static_cast<double>(pipeline->total_dropped()) /
-                  std::max<double>(1.0, static_cast<double>(pipeline->total_packets())));
+  PrintResults(*pipeline);
   if (flags.Has("deadline") || flags.Has("ingest-cap") || flags.Has("checkpoint")) {
     const api::PipelineStats stats = pipeline->Stats();
     std::printf(
@@ -505,6 +547,239 @@ int CmdRun(const Flags& flags) {
   }
   if (!metrics_out.empty()) {
     std::printf("metrics (Prometheus text format) written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+// shedmon capture: the same pipeline as `run`, fed by live sources instead
+// of a saved trace. The capture consumer thread drives Push/AdvanceTime; this
+// thread only waits for a signal, a --duration expiry, or a SIGUSR1 dump.
+int CmdCapture(const Flags& flags) {
+  capture::CaptureConfig capture_config;
+  if (flags.Has("listen-udp")) {
+    capture_config.sources.push_back(
+        capture::SourceSpec::Udp(static_cast<uint16_t>(flags.GetU64("listen-udp", 0))));
+  }
+  if (flags.Has("listen-tcp")) {
+    capture_config.sources.push_back(
+        capture::SourceSpec::Tcp(static_cast<uint16_t>(flags.GetU64("listen-tcp", 0))));
+  }
+  if (flags.Has("follow-pcap")) {
+    capture_config.sources.push_back(capture::SourceSpec::PcapFile(flags.Get("follow-pcap")));
+  }
+  if (capture_config.sources.empty()) {
+    std::fprintf(stderr,
+                 "capture: at least one of --listen-udp / --listen-tcp / "
+                 "--follow-pcap required\n");
+    return 2;
+  }
+  capture_config.slots = flags.GetU64("slots", capture_config.slots);
+  capture_config.snap_bytes =
+      static_cast<uint32_t>(flags.GetU64("snap", capture_config.snap_bytes));
+  capture_config.queue_capacity = flags.GetU64("queue", capture_config.queue_capacity);
+  const std::string overflow = flags.Get("overflow", "block");
+  capture_config.overflow = overflow == "drop-newest"   ? rt::OverflowPolicy::kDropNewest
+                            : overflow == "drop-oldest" ? rt::OverflowPolicy::kDropOldest
+                                                        : rt::OverflowPolicy::kBlock;
+  capture_config.late_slack_us = flags.GetU64("late-slack-us", capture_config.late_slack_us);
+
+  const bool have_config = flags.Has("config");
+  api::FileConfig file_config;
+  if (have_config) {
+    file_config = api::ParseConfigFile(flags.Get("config"));
+  }
+  if (flags.Has("queries") || file_config.queries.empty()) {
+    file_config.queries = SplitCsv(flags.Get("queries", "counter,flows,application"));
+  }
+
+  PipelineBuilder builder = PipelineBuilder::FromConfig(file_config);
+  if (!have_config || flags.Has("bin-us")) {
+    builder.TimeBin(flags.GetU64("bin-us", 100'000));
+  }
+  // Live capture has no trace to measure demand against, so capacity is an
+  // absolute cycle budget: --capacity, or the config file's cycles_per_bin.
+  if (flags.Has("capacity")) {
+    builder.CyclesPerBin(flags.GetDouble("capacity", 0.0));
+  } else if (builder.config().cycles_per_bin <= 0.0) {
+    std::fprintf(stderr,
+                 "capture: --capacity CYCLES required (or a config file with "
+                 "cycles_per_bin)\n");
+    return 2;
+  }
+  if (flags.Has("shedder")) {
+    const std::string shedder = flags.Get("shedder", "predictive");
+    builder.Shedder(shedder == "reactive" ? core::ShedderKind::kReactive
+                    : shedder == "none"   ? core::ShedderKind::kNoShed
+                                          : core::ShedderKind::kPredictive);
+  }
+  if (flags.Has("strategy")) {
+    const std::string strategy = flags.Get("strategy", "pkt");
+    builder.Strategy(strategy == "eq"    ? shed::StrategyKind::kEqSrates
+                     : strategy == "cpu" ? shed::StrategyKind::kMmfsCpu
+                                         : shed::StrategyKind::kMmfsPkt);
+  }
+  if (flags.Has("custom")) {
+    builder.CustomShedding(true);
+  }
+  if (flags.Has("threads")) {
+    builder.Threads(flags.GetU64("threads", 0));
+  }
+  if (flags.Has("shards")) {
+    builder.MaxShardsPerQuery(flags.GetU64("shards", 1));
+  }
+  if (flags.Has("csv")) {
+    builder.CsvTo(flags.Get("csv"));
+  }
+  if (flags.Has("jsonl")) {
+    builder.JsonlTo(flags.Get("jsonl"));
+  }
+  if (flags.Has("deadline")) {
+    builder.Deadline(flags.GetDouble("deadline", 0.9));
+  }
+  if (flags.Has("ingest-cap")) {
+    const std::string policy = flags.Get("ingest-policy", "drop-newest");
+    builder.IngestCap(flags.GetU64("ingest-cap", 0),
+                      policy == "block"         ? rt::OverflowPolicy::kBlock
+                      : policy == "drop-oldest" ? rt::OverflowPolicy::kDropOldest
+                                                : rt::OverflowPolicy::kDropNewest);
+  }
+  if (flags.Has("trace-out")) {
+    builder.Tracing();
+  }
+  if (flags.Has("serve")) {
+    builder.ServeOn(static_cast<uint16_t>(flags.GetU64("serve", 0)));
+  }
+  builder.CaptureFrom(capture_config);
+
+  // Install the stop handler before the listeners open so an early signal is
+  // never lost; same flag-only async-signal discipline as SIGUSR1.
+  struct sigaction stop_action = {};
+  sigemptyset(&stop_action.sa_mask);
+  stop_action.sa_handler = RequestStop;
+  stop_action.sa_flags = 0;  // no SA_RESTART: break the wait loop's sleep
+  sigaction(SIGINT, &stop_action, nullptr);
+  sigaction(SIGTERM, &stop_action, nullptr);
+  const std::string metrics_out = flags.Get("metrics-out");
+  if (!metrics_out.empty()) {
+    struct sigaction action = {};
+    sigemptyset(&action.sa_mask);
+    action.sa_handler = RequestMetricsDump;
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGUSR1, &action, nullptr);
+  }
+
+  std::unique_ptr<Pipeline> pipeline = builder.BuildUnique();
+
+  // Wrappers parse these lines to find bound ports (--listen-udp 0 binds an
+  // ephemeral one), so keep their shape stable.
+  const capture::CaptureLoop* loop = pipeline->capture();
+  for (size_t i = 0; i < loop->num_sources(); ++i) {
+    const capture::SourceSpec& spec = loop->config().sources[i];
+    switch (spec.kind) {
+      case capture::SourceSpec::Kind::kUdp:
+        std::printf("capturing udp://127.0.0.1:%u\n", loop->port(i));
+        break;
+      case capture::SourceSpec::Kind::kTcp:
+        std::printf("capturing tcp://127.0.0.1:%u\n", loop->port(i));
+        break;
+      case capture::SourceSpec::Kind::kPcapFile:
+        std::printf("capturing pcap://%s\n", spec.path.c_str());
+        break;
+    }
+  }
+  if (flags.Has("serve")) {
+    std::printf("serving http://127.0.0.1:%u (/metrics /healthz /stats /trace)\n",
+                pipeline->serve_port());
+  }
+  std::printf("running %zu queries (capacity %.3g cycles/bin); stop with SIGINT/SIGTERM\n\n",
+              pipeline->num_queries(), builder.config().cycles_per_bin);
+  std::fflush(stdout);
+
+  // The capture threads do all the work; wait here for a stop reason.
+  const double duration_s = flags.GetDouble("duration", 0.0);
+  const std::shared_ptr<rt::Clock> clock = rt::DefaultClock();
+  const uint64_t start_us = clock->NowUs();
+  while (g_stop_requested == 0) {
+    if (duration_s > 0.0 &&
+        static_cast<double>(clock->NowUs() - start_us) >= duration_s * 1e6) {
+      break;
+    }
+    if (g_metrics_dump_requested != 0 && !metrics_out.empty()) {
+      g_metrics_dump_requested = 0;
+      DumpMetrics(*pipeline, metrics_out);
+      std::fprintf(stderr, "capture: metrics dumped to %s (SIGUSR1)\n", metrics_out.c_str());
+    }
+    clock->SleepUs(50'000);
+  }
+
+  pipeline->Finish();  // stops capture, drains the ring, closes the last bin
+  if (!metrics_out.empty()) {
+    DumpMetrics(*pipeline, metrics_out);
+  }
+  if (flags.Has("trace-out")) {
+    pipeline->DumpTrace(flags.Get("trace-out"));
+  }
+
+  const capture::CaptureStats cs = pipeline->capture_stats();
+  std::printf("capture: %llu frames (%llu bytes), %llu decoded packets, %llu truncated\n",
+              static_cast<unsigned long long>(cs.frames),
+              static_cast<unsigned long long>(cs.bytes),
+              static_cast<unsigned long long>(cs.packets),
+              static_cast<unsigned long long>(cs.truncated));
+  std::printf(
+      "capture drops: %llu total (%llu queue, %llu no-slot, %llu late, %llu decode)\n",
+      static_cast<unsigned long long>(cs.dropped()),
+      static_cast<unsigned long long>(cs.dropped_queue),
+      static_cast<unsigned long long>(cs.dropped_no_slot),
+      static_cast<unsigned long long>(cs.dropped_late),
+      static_cast<unsigned long long>(cs.dropped_decode));
+  PrintResults(*pipeline);
+  if (flags.Has("csv")) {
+    std::printf("per-bin log written to %s\n", flags.Get("csv").c_str());
+  }
+  if (flags.Has("jsonl")) {
+    std::printf("per-bin log written to %s\n", flags.Get("jsonl").c_str());
+  }
+  if (flags.Has("trace-out")) {
+    std::printf("trace (Chrome trace-event JSON) written to %s\n",
+                flags.Get("trace-out").c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::printf("metrics (Prometheus text format) written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+// Accepts "PORT" or "host:PORT"; replay always targets loopback, the host
+// part is tolerated so banner lines can be pasted back verbatim.
+uint16_t ParsePort(const std::string& value) {
+  const size_t colon = value.rfind(':');
+  return static_cast<uint16_t>(
+      std::stoul(colon == std::string::npos ? value : value.substr(colon + 1)));
+}
+
+int CmdReplay(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "replay: trace file required\n");
+    return 2;
+  }
+  if (flags.Has("udp") == flags.Has("tcp")) {
+    std::fprintf(stderr, "replay: exactly one of --udp PORT or --tcp PORT required\n");
+    return 2;
+  }
+  const trace::Trace t = trace::LoadTrace(flags.positional()[0]);
+  capture::ReplayOptions options;
+  options.pps = flags.GetU64("pps", 0);
+  if (flags.Has("udp")) {
+    const uint16_t port = ParsePort(flags.Get("udp"));
+    const size_t sent = capture::ReplayTraceUdp(t, port, options);
+    std::printf("replayed %zu/%zu packets to udp://127.0.0.1:%u\n", sent, t.packets.size(),
+                port);
+  } else {
+    const uint16_t port = ParsePort(flags.Get("tcp"));
+    const size_t sent = capture::ReplayTraceTcp(t, port, options);
+    std::printf("replayed %zu/%zu packets to tcp://127.0.0.1:%u\n", sent, t.packets.size(),
+                port);
   }
   return 0;
 }
@@ -547,6 +822,12 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return CmdRun(flags);
+    }
+    if (command == "capture") {
+      return CmdCapture(flags);
+    }
+    if (command == "replay") {
+      return CmdReplay(flags);
     }
     if (command == "queries") {
       return CmdQueries();
